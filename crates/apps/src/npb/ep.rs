@@ -1,0 +1,98 @@
+//! EP — Embarrassingly Parallel.
+//!
+//! NPB EP generates pairs of Gaussian deviates with the Marsaglia polar
+//! method and counts them in ten concentric square annuli; the only
+//! communication is three final `MPI_Allreduce`s (the sums `sx`, `sy` and
+//! the count table `q`). Synchronization is therefore *coarse*: the paper
+//! finds EP nearly insensitive to the scheduling quantum (Fig 11) and uses
+//! it as the compute-scaling reference (Fig 12).
+//!
+//! The model computes the calibrated cost in blocks (NPB reports progress
+//! per 2^k batch); a miniature real Marsaglia kernel produces the verified
+//! counts deterministically.
+
+use mgrid_mpi::Comm;
+
+use super::{compute, mops_for, progress_value, timed, NpbClass, NpbResult, NpbSensors};
+
+/// Per-rank compute budget (Mops) for a 4-rank run, calibrated to the
+/// Fig 10 / Fig 11 bar heights on the 533 MHz Alpha reference.
+fn per_rank_mops(class: NpbClass, ranks: usize) -> f64 {
+    let four_rank_total = match class {
+        NpbClass::A => mops_for(105.0) * 4.0, // ~105 s on 4 ranks
+        NpbClass::S => mops_for(13.0) * 4.0,  // ~13 s on 4 ranks
+    };
+    four_rank_total / ranks as f64
+}
+
+const BLOCKS: u32 = 16;
+/// Pairs evaluated by the miniature real kernel (per rank).
+const MINI_PAIRS: u32 = 1 << 14;
+
+/// Run EP.
+pub async fn run(comm: Comm, class: NpbClass, sensors: Option<NpbSensors>) -> NpbResult {
+    let work = per_rank_mops(class, comm.size());
+    let (secs, (q, sx, sy)) = timed(&comm, || {
+        let comm = comm.clone();
+        let sensors = sensors.clone();
+        async move {
+            // Real kernel state: deterministic per rank.
+            let mut rng = mgrid_desim::SimRng::new(271_828_183 ^ comm.rank() as u64);
+            let mut q = vec![0u64; 10];
+            let mut sx = 0.0f64;
+            let mut sy = 0.0f64;
+            for block in 0..BLOCKS {
+                // The calibrated cost of this block of pair generation.
+                compute(&comm, work / BLOCKS as f64).await;
+                // The miniature real kernel: Marsaglia polar method.
+                for _ in 0..MINI_PAIRS / BLOCKS {
+                    let x = 2.0 * rng.f64() - 1.0;
+                    let y = 2.0 * rng.f64() - 1.0;
+                    let t = x * x + y * y;
+                    if t <= 1.0 && t > 0.0 {
+                        let f = (-2.0 * t.ln() / t).sqrt();
+                        let gx = x * f;
+                        let gy = y * f;
+                        sx += gx;
+                        sy += gy;
+                        let l = gx.abs().max(gy.abs()) as usize;
+                        if l < q.len() {
+                            q[l] += 1;
+                        }
+                    }
+                }
+                if let Some(s) = &sensors {
+                    s.counter.set(progress_value(block as u64 + 1));
+                }
+            }
+            // The three terminal reductions of NPB EP.
+            let q = comm
+                .allreduce(q, 80, |a, b| {
+                    a.iter().zip(b).map(|(x, y)| x + y).collect::<Vec<u64>>()
+                })
+                .await
+                .expect("allreduce q");
+            let sx = comm.allreduce(sx, 8, |a, b| a + b).await.expect("allreduce sx");
+            let sy = comm.allreduce(sy, 8, |a, b| a + b).await.expect("allreduce sy");
+            (q, sx, sy)
+        }
+    })
+    .await;
+
+    // Verification: the Marsaglia acceptance rate is pi/4; essentially all
+    // accepted deviates land in the first few annuli.
+    let total: u64 = q.iter().sum();
+    let expected = (MINI_PAIRS as f64 * comm.size() as f64) * std::f64::consts::FRAC_PI_4;
+    let verified = (total as f64 - expected).abs() / expected < 0.05
+        && q[0] > q[3]
+        && sx.is_finite()
+        && sy.is_finite();
+    NpbResult {
+        benchmark: "EP".into(),
+        class,
+        ranks: comm.size(),
+        virtual_seconds: secs,
+        verified,
+        checksum: total as f64 + sx + sy,
+    }
+}

@@ -1,0 +1,198 @@
+//! FT — 3-D Fast Fourier Transform (extension beyond the paper's five
+//! codes).
+//!
+//! NPB FT solves a 3-D diffusion equation spectrally: each time step is a
+//! forward/inverse 3-D FFT whose distributed transpose is a full
+//! `MPI_Alltoall` of the entire dataset — the most bandwidth-hungry
+//! pattern in the suite (heavier than IS). A miniature real radix-2 FFT
+//! round-trips a signal to verify numerics.
+
+use mgrid_mpi::Comm;
+
+use super::{compute, mops_for, progress_value, timed, NpbClass, NpbResult, NpbSensors};
+
+struct FtShape {
+    /// Time steps (NPB class A: 6).
+    iters: u32,
+    four_rank_total_mops: f64,
+    /// Total dataset bytes (complex grid) transposed per FFT.
+    dataset_bytes: u64,
+}
+
+fn shape(class: NpbClass) -> FtShape {
+    match class {
+        NpbClass::A => FtShape {
+            iters: 6,
+            four_rank_total_mops: mops_for(45.0) * 4.0,
+            // 256 x 256 x 128 complex doubles.
+            dataset_bytes: 256 * 256 * 128 * 16,
+        },
+        NpbClass::S => FtShape {
+            iters: 6,
+            four_rank_total_mops: mops_for(2.5) * 4.0,
+            // 64^3 complex doubles.
+            dataset_bytes: 64 * 64 * 64 * 16,
+        },
+    }
+}
+
+/// In-place radix-2 Cooley-Tukey on interleaved (re, im) pairs.
+fn fft(re: &mut [f64], im: &mut [f64], inverse: bool) {
+    let n = re.len();
+    assert!(n.is_power_of_two());
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * std::f64::consts::TAU / len as f64;
+        let (wr, wi) = (ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let (mut cr, mut ci) = (1.0f64, 0.0f64);
+            for k in 0..len / 2 {
+                let (ar, ai) = (re[i + k], im[i + k]);
+                let (br, bi) = (re[i + k + len / 2], im[i + k + len / 2]);
+                let (tr, ti) = (br * cr - bi * ci, br * ci + bi * cr);
+                re[i + k] = ar + tr;
+                im[i + k] = ai + ti;
+                re[i + k + len / 2] = ar - tr;
+                im[i + k + len / 2] = ai - ti;
+                let ncr = cr * wr - ci * wi;
+                ci = cr * wi + ci * wr;
+                cr = ncr;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+    if inverse {
+        for v in re.iter_mut().chain(im.iter_mut()) {
+            *v /= n as f64;
+        }
+    }
+}
+
+/// Run FT.
+pub async fn run(comm: Comm, class: NpbClass, sensors: Option<NpbSensors>) -> NpbResult {
+    let sh = shape(class);
+    let p = comm.size();
+    // Per-iteration: local 1-D FFT passes + a full-dataset transpose; each
+    // rank ships (dataset/p) split evenly across the other ranks.
+    let chunk_bytes = sh.dataset_bytes / (p * p) as u64;
+    let mops_per_iter = sh.four_rank_total_mops / p as f64 / sh.iters as f64;
+
+    let (secs, max_err) = timed(&comm, || {
+        let comm = comm.clone();
+        let sensors = sensors.clone();
+        async move {
+            // Real kernel: FFT -> spectral decay -> IFFT on a local line.
+            let m = 256usize;
+            let mut rng = mgrid_desim::SimRng::new(1618 ^ comm.rank() as u64);
+            let original: Vec<f64> = (0..m).map(|_| rng.f64() * 2.0 - 1.0).collect();
+            let mut re = original.clone();
+            let mut im = vec![0.0f64; m];
+            let mut max_err = 0.0f64;
+
+            for step in 0..sh.iters {
+                // Local FFT compute (half before, half after transpose).
+                compute(&comm, mops_per_iter / 2.0).await;
+                // The distributed transpose: all-to-all of the dataset.
+                let chunks: Vec<(u8, u64)> = (0..p).map(|_| (0u8, chunk_bytes)).collect();
+                comm.alltoall(chunks).await.expect("transpose");
+                compute(&comm, mops_per_iter / 2.0).await;
+                // Real kernel round trip with mild spectral damping.
+                fft(&mut re, &mut im, false);
+                for k in 0..m {
+                    let damp = (-(k.min(m - k) as f64) * 1e-5).exp();
+                    re[k] *= damp;
+                    im[k] *= damp;
+                }
+                fft(&mut re, &mut im, true);
+                // Checksum reduction, as NPB FT does each step.
+                let local: f64 = re.iter().sum();
+                comm.allreduce(local, 8, |a, b| a + b).await.expect("chk");
+                if let Some(s) = &sensors {
+                    s.counter.set(progress_value(step as u64 + 1));
+                }
+            }
+            // FFT/IFFT round trip (with tiny damping) stays near the
+            // original signal; gross errors mean the transform is broken.
+            for (a, b) in re.iter().zip(&original) {
+                max_err = max_err.max((a - b).abs());
+            }
+            let im_leak = im.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+            max_err.max(im_leak)
+        }
+    })
+    .await;
+
+    let verified = max_err < 0.05;
+    NpbResult {
+        benchmark: "FT".into(),
+        class,
+        ranks: p,
+        virtual_seconds: secs,
+        verified,
+        checksum: max_err,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::fft;
+
+    #[test]
+    fn fft_roundtrip_is_identity() {
+        let n = 128;
+        let orig: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut re = orig.clone();
+        let mut im = vec![0.0; n];
+        fft(&mut re, &mut im, false);
+        fft(&mut re, &mut im, true);
+        for (a, b) in re.iter().zip(&orig) {
+            assert!((a - b).abs() < 1e-10);
+        }
+        for v in &im {
+            assert!(v.abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let n = 64;
+        let mut re = vec![0.0; n];
+        let mut im = vec![0.0; n];
+        re[0] = 1.0;
+        fft(&mut re, &mut im, false);
+        for k in 0..n {
+            assert!((re[k] - 1.0).abs() < 1e-12, "bin {k}");
+            assert!(im[k].abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parseval_holds() {
+        let n = 64;
+        let orig: Vec<f64> = (0..n).map(|i| ((i * i) % 7) as f64 - 3.0).collect();
+        let mut re = orig.clone();
+        let mut im = vec![0.0; n];
+        fft(&mut re, &mut im, false);
+        let time_energy: f64 = orig.iter().map(|v| v * v).sum();
+        let freq_energy: f64 =
+            re.iter().zip(&im).map(|(a, b)| a * a + b * b).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,165 @@
+//! LU — the SSOR (symmetric successive over-relaxation) solver.
+//!
+//! NPB LU solves the Navier-Stokes equations with a lower/upper
+//! triangular sweep per iteration. On a 2-D processor grid the sweeps form
+//! software *pipelines*: for each k-plane a rank waits for thin boundary
+//! strips from its north/west neighbors, relaxes the plane, and forwards
+//! strips south/east (the upper sweep reverses direction). The result is
+//! the highest message rate of the suite — thousands of ~2 KB messages —
+//! which is why LU wants the smallest scheduling quantum in Fig 11.
+//!
+//! A miniature real SSOR relaxation on a small local block verifies the
+//! numeric path.
+
+use mgrid_mpi::{Comm, MpiData};
+
+use super::{compute, mops_for, progress_value, timed, NpbClass, NpbResult, NpbSensors};
+
+struct LuShape {
+    /// Grid edge (class A: 64, class S: 12).
+    n: u32,
+    /// SSOR iterations.
+    iters: u32,
+    four_rank_total_mops: f64,
+}
+
+fn shape(class: NpbClass) -> LuShape {
+    match class {
+        NpbClass::A => LuShape {
+            n: 64,
+            iters: 250,
+            four_rank_total_mops: mops_for(255.0) * 4.0,
+        },
+        NpbClass::S => LuShape {
+            n: 12,
+            iters: 50,
+            four_rank_total_mops: mops_for(6.0) * 4.0,
+        },
+    }
+}
+
+const SWEEP_TAG: i32 = 200;
+
+/// 2-D processor grid: (rows, cols) with rows*cols = p, as square as
+/// possible (NPB LU requires a power-of-two count).
+fn proc_grid(p: usize) -> (usize, usize) {
+    assert!(p.is_power_of_two(), "LU requires a power-of-two rank count");
+    let mut rows = 1;
+    while rows * rows < p {
+        rows *= 2;
+    }
+    if rows * rows > p {
+        rows /= 2;
+    }
+    (rows, p / rows)
+}
+
+/// Run LU.
+pub async fn run(comm: Comm, class: NpbClass, sensors: Option<NpbSensors>) -> NpbResult {
+    let sh = shape(class);
+    let p = comm.size();
+    let (rows, cols) = proc_grid(p);
+    let row = comm.rank() / cols;
+    let col = comm.rank() % cols;
+    let north = if row > 0 { Some(comm.rank() - cols) } else { None };
+    let south = if row + 1 < rows { Some(comm.rank() + cols) } else { None };
+    let west = if col > 0 { Some(comm.rank() - 1) } else { None };
+    let east = if col + 1 < cols { Some(comm.rank() + 1) } else { None };
+
+    // Per-plane boundary strip: n/cols cells x 5 variables x 8 bytes.
+    let strip_bytes = u64::from(sh.n) / cols as u64 * 5 * 8 + 32;
+    let planes = sh.n;
+    let mops_per_plane =
+        sh.four_rank_total_mops / p as f64 / sh.iters as f64 / (2.0 * planes as f64);
+
+    let (secs, checksum) = timed(&comm, || {
+        let comm = comm.clone();
+        let sensors = sensors.clone();
+        async move {
+            // Miniature real kernel: SSOR on a small 2-D block.
+            let m = 24usize;
+            let omega = 1.2f64;
+            let mut u = vec![1.0f64; m * m];
+
+            for iter in 0..sh.iters {
+                // Lower sweep: wavefront from the north-west corner.
+                for k in 0..planes {
+                    let tag = SWEEP_TAG + (k % 8) as i32;
+                    if let Some(nb) = north {
+                        comm.recv(nb, tag).await.expect("north strip");
+                    }
+                    if let Some(wb) = west {
+                        comm.recv(wb, tag + 8).await.expect("west strip");
+                    }
+                    compute(&comm, mops_per_plane).await;
+                    if let Some(sb) = south {
+                        comm.send(sb, tag, MpiData::bytes_only(strip_bytes))
+                            .await
+                            .expect("south strip");
+                    }
+                    if let Some(eb) = east {
+                        comm.send(eb, tag + 8, MpiData::bytes_only(strip_bytes))
+                            .await
+                            .expect("east strip");
+                    }
+                }
+                // Upper sweep: wavefront from the south-east corner.
+                for k in 0..planes {
+                    let tag = SWEEP_TAG + 16 + (k % 8) as i32;
+                    if let Some(sb) = south {
+                        comm.recv(sb, tag).await.expect("south strip");
+                    }
+                    if let Some(eb) = east {
+                        comm.recv(eb, tag + 8).await.expect("east strip");
+                    }
+                    compute(&comm, mops_per_plane).await;
+                    if let Some(nb) = north {
+                        comm.send(nb, tag, MpiData::bytes_only(strip_bytes))
+                            .await
+                            .expect("north strip");
+                    }
+                    if let Some(wb) = west {
+                        comm.send(wb, tag + 8, MpiData::bytes_only(strip_bytes))
+                            .await
+                            .expect("west strip");
+                    }
+                }
+                // Real kernel: one SSOR pass over the local block.
+                for i in 1..m - 1 {
+                    for j in 1..m - 1 {
+                        let idx = i * m + j;
+                        let gs = 0.25
+                            * (u[idx - 1] + u[idx + 1] + u[idx - m] + u[idx + m]);
+                        u[idx] = (1.0 - omega) * u[idx] + omega * gs;
+                    }
+                }
+                if let Some(s) = &sensors {
+                    s.counter
+                        .set(progress_value(iter as u64 + 1));
+                }
+                // Periodic residual norm, as NPB LU computes every
+                // `inorm` iterations.
+                if iter % 10 == 9 {
+                    let local: f64 = u.iter().sum();
+                    comm.allreduce(local, 8, |a, b| a + b).await.expect("norm");
+                }
+            }
+            let local: f64 = u.iter().sum();
+            comm.allreduce(local, 8, |a, b| a + b).await.expect("norm")
+        }
+    })
+    .await;
+
+    // SSOR with these boundary conditions relaxes toward the boundary
+    // value 1.0 everywhere: the reduced sum must stay near m*m per rank.
+    let expected = 24.0 * 24.0 * p as f64;
+    let verified = (checksum - expected).abs() / expected < 0.05;
+    NpbResult {
+        benchmark: "LU".into(),
+        class,
+        ranks: p,
+        virtual_seconds: secs,
+        verified,
+        checksum,
+    }
+}

@@ -1,0 +1,138 @@
+//! MG — MultiGrid.
+//!
+//! NPB MG applies V-cycles of a multigrid solver to a 3-D Poisson problem:
+//! each cycle walks down and back up a hierarchy of grids, exchanging
+//! boundary faces with neighbors at *every level*. Near the coarse levels
+//! the faces are tiny and the exchanges rapid — the fine-grained
+//! synchronization that makes MG the most quantum-sensitive benchmark in
+//! the paper (largest skew in Fig 17, clear quantum effect in Fig 11).
+//!
+//! Model: 1-D decomposition along z. Per V-cycle and level: smoothing
+//! compute proportional to the level's cells, then a two-neighbor halo
+//! exchange of `n_level^2 * 8`-byte faces, three rounds per level (NPB's
+//! `psinv`/`resid`/interpolation communication). A miniature real 1-D
+//! multigrid relaxation verifies numerics.
+
+use mgrid_mpi::{Comm, MpiData};
+
+use super::{compute, mops_for, progress_value, timed, NpbClass, NpbResult, NpbSensors};
+
+struct MgShape {
+    /// Finest grid edge (class A: 256, class S: 32).
+    n: u32,
+    /// V-cycle iterations.
+    iters: u32,
+    /// Per-rank compute budget in Mops (4-rank calibration).
+    four_rank_total_mops: f64,
+}
+
+fn shape(class: NpbClass) -> MgShape {
+    match class {
+        NpbClass::A => MgShape {
+            n: 256,
+            iters: 4,
+            four_rank_total_mops: mops_for(42.0) * 4.0,
+        },
+        NpbClass::S => MgShape {
+            n: 32,
+            iters: 4,
+            four_rank_total_mops: mops_for(4.0) * 4.0,
+        },
+    }
+}
+
+const HALO_TAG: i32 = 100;
+/// Communication rounds per level per cycle (residual, smoother, transfer).
+const ROUNDS_PER_LEVEL: u32 = 3;
+
+/// Run MG.
+pub async fn run(comm: Comm, class: NpbClass, sensors: Option<NpbSensors>) -> NpbResult {
+    let sh = shape(class);
+    let p = comm.size();
+    let rank = comm.rank();
+    let up = (rank + 1) % p;
+    let down = (rank + p - 1) % p;
+    let levels: Vec<u32> = {
+        // n, n/2, ..., 4
+        let mut v = Vec::new();
+        let mut n = sh.n;
+        while n >= 4 {
+            v.push(n);
+            n /= 2;
+        }
+        v
+    };
+    // One V-cycle walks fine -> coarse -> fine (finest twice, coarsest
+    // once); compute divides across the walk proportionally to cell
+    // counts.
+    let walk: Vec<u32> = levels
+        .iter()
+        .copied()
+        .chain(levels.iter().rev().skip(1).copied())
+        .collect();
+    let walk_cells: f64 = walk.iter().map(|&n| (n as f64).powi(3)).sum();
+    let budget = sh.four_rank_total_mops / p as f64 / sh.iters as f64;
+
+    let (secs, checksum) = timed(&comm, || {
+        let comm = comm.clone();
+        let walk = walk.clone();
+        let sensors = sensors.clone();
+        async move {
+            // Miniature real kernel: 1-D two-grid relaxation of u'' = f.
+            let m = 64usize;
+            let mut u = vec![0.0f64; m];
+            let f: Vec<f64> = (0..m).map(|i| (i as f64 * 0.1).sin()).collect();
+
+            let mut iteration = 0u64;
+            for _cycle in 0..sh.iters {
+                // Down-sweep then up-sweep of the V-cycle.
+                for &n in &walk {
+                    let level_cells = (n as f64).powi(3);
+                    let level_mops = budget * level_cells / walk_cells;
+                    let face_bytes = u64::from(n) * u64::from(n) * 8 / p as u64 + 64;
+                    for round in 0..ROUNDS_PER_LEVEL {
+                        compute(&comm, level_mops / ROUNDS_PER_LEVEL as f64).await;
+                        // Two-neighbor halo exchange (z- and z+ faces).
+                        let tag = HALO_TAG + round as i32;
+                        comm.sendrecv(up, tag, MpiData::bytes_only(face_bytes), down, tag)
+                            .await
+                            .expect("halo");
+                        comm.sendrecv(down, tag + 8, MpiData::bytes_only(face_bytes), up, tag + 8)
+                            .await
+                            .expect("halo");
+                    }
+                    // Real kernel: red-black smoothing sweep.
+                    for i in 1..m - 1 {
+                        u[i] = 0.5 * (u[i - 1] + u[i + 1] - 0.01 * f[i]);
+                    }
+                    iteration += 1;
+                    if let Some(s) = &sensors {
+                        s.counter.set(progress_value(iteration));
+                    }
+                }
+                // Per-cycle residual norm: an allreduce like NPB's norm2u3.
+                let local: f64 = u.iter().map(|x| x * x).sum();
+                let _global = comm
+                    .allreduce(local, 8, |a, b| a + b)
+                    .await
+                    .expect("norm allreduce");
+            }
+            let local: f64 = u.iter().map(|x| x * x).sum();
+            comm.allreduce(local, 8, |a, b| a + b).await.expect("norm")
+        }
+    })
+    .await;
+
+    // The relaxation must have converged toward the smooth solution:
+    // finite, nonzero, and identical on every rank (checksum is the global
+    // reduced norm, so equality across ranks is implied by construction).
+    let verified = checksum.is_finite() && checksum > 0.0;
+    NpbResult {
+        benchmark: "MG".into(),
+        class,
+        ranks: comm.size(),
+        virtual_seconds: secs,
+        verified,
+        checksum,
+    }
+}

@@ -1,0 +1,117 @@
+//! Engine throughput benchmarks: the simulator's own performance, which
+//! bounds how large a virtual Grid can be modeled (the paper's scalability
+//! concern in §2.4.2 and §5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use microgrid::desim::time::SimDuration;
+use microgrid::desim::{sleep, spawn, Simulation};
+
+fn timer_events(c: &mut Criterion) {
+    let mut g = c.benchmark_group("desim_timer_events");
+    for n in [1_000u64, 10_000] {
+        g.throughput(Throughput::Elements(n));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sim = Simulation::new(1);
+                sim.spawn(async move {
+                    for i in 0..n {
+                        sleep(SimDuration::from_nanos(i % 97 + 1)).await;
+                    }
+                });
+                sim.run()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn channel_messages(c: &mut Criterion) {
+    let mut g = c.benchmark_group("desim_channel_messages");
+    let n = 10_000u64;
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("mpsc_10k", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(1);
+            sim.spawn(async move {
+                let (tx, rx) = microgrid::desim::channel::channel();
+                spawn(async move {
+                    for i in 0..n {
+                        tx.send(i).await.unwrap();
+                    }
+                });
+                let mut sum = 0u64;
+                while let Ok(v) = rx.recv().await {
+                    sum += v;
+                }
+                assert_eq!(sum, n * (n - 1) / 2);
+            });
+            sim.run()
+        });
+    });
+    g.finish();
+}
+
+fn kernel_slices(c: &mut Criterion) {
+    use microgrid::desim::SimRng;
+    use microgrid::hostsim::{OsKernel, OsParams};
+    let mut g = c.benchmark_group("hostsim_kernel");
+    g.bench_function("4_procs_1s_timeshared", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(2);
+            sim.spawn(async {
+                let k = OsKernel::new(OsParams::default(), SimRng::new(3));
+                let mut handles = Vec::new();
+                for i in 0..4 {
+                    let p = k.spawn_process(format!("p{i}"));
+                    handles.push(spawn(async move {
+                        p.run_cpu(SimDuration::from_millis(250)).await;
+                    }));
+                }
+                for h in handles {
+                    h.await;
+                }
+            });
+            sim.run()
+        });
+    });
+    g.finish();
+}
+
+fn network_packets(c: &mut Criterion) {
+    use microgrid::desim::vclock::VirtualClock;
+    use microgrid::netsim::{LinkSpec, NetParams, Network, Payload, TopologyBuilder};
+    let mut g = c.benchmark_group("netsim_transfer");
+    let bytes = 1_000_000u64;
+    g.throughput(Throughput::Bytes(bytes));
+    g.bench_function("1MB_over_ethernet", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(3);
+            sim.block_on(async move {
+                let mut tb = TopologyBuilder::new();
+                let a = tb.host("a");
+                let z = tb.host("z");
+                tb.link(a, z, LinkSpec::fast_ethernet());
+                let net = Network::new(tb.build(), VirtualClock::identity(), NetParams::default());
+                let rx = net.endpoint(z).bind(1);
+                spawn({
+                    let ep = net.endpoint(a);
+                    async move {
+                        ep.send(z, 1, 1, bytes, Payload::empty()).await.unwrap();
+                    }
+                });
+                rx.recv().await.unwrap().size_bytes
+            })
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    timer_events,
+    channel_messages,
+    kernel_slices,
+    network_packets
+);
+criterion_main!(benches);

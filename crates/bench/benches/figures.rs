@@ -1,0 +1,185 @@
+//! One Criterion bench per paper table/figure family: each times a
+//! shrunken regeneration of that experiment, so `cargo bench` both
+//! exercises every reproduction path and tracks the simulator's speed on
+//! it. The full-size regenerations are produced by the `repro` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mgrid_bench::experiments::{micro, network, npb};
+use mgrid_bench::runner::{run_npb, run_wavetoy, Mode};
+use microgrid::apps::npb::{NpbBenchmark, NpbClass};
+use microgrid::apps::WaveToyConfig;
+use microgrid::desim::time::SimDuration;
+use microgrid::presets;
+
+fn fig5_memory(c: &mut Criterion) {
+    c.bench_function("fig5_memory_probe", |b| {
+        b.iter(micro::fig5_memory);
+    });
+}
+
+fn fig6_cpu(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_cpu_fraction");
+    g.sample_size(10);
+    g.bench_function("delivered_50pct_cpu_competition", |b| {
+        b.iter(|| {
+            micro::delivered_fraction(0.5, micro::Competition::Cpu, SimDuration::from_secs(2))
+        });
+    });
+    g.finish();
+}
+
+fn fig7_quanta(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_quanta_distribution");
+    g.sample_size(10);
+    g.bench_function("300_grants_no_competition", |b| {
+        b.iter(|| micro::quanta_distribution(micro::Competition::None, 300));
+    });
+    g.finish();
+}
+
+fn fig8_pingpong(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_network");
+    g.sample_size(10);
+    for size in [4u64, 65536] {
+        g.bench_function(format!("pingpong_{size}B"), |b| {
+            b.iter(|| network::ping_pong(Mode::Physical, size, 4));
+        });
+    }
+    g.finish();
+}
+
+fn fig10_npb_class_s(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_npb");
+    g.sample_size(10);
+    for bench in [NpbBenchmark::MG, NpbBenchmark::IS] {
+        g.bench_function(format!("{}_S_microgrid", bench.name()), |b| {
+            b.iter(|| {
+                run_npb(
+                    presets::alpha_cluster(),
+                    Mode::MicroGrid,
+                    bench,
+                    NpbClass::S,
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+fn fig11_quantum(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_quantum");
+    g.sample_size(10);
+    g.bench_function("MG_S_shared_30ms_quantum", |b| {
+        b.iter(|| {
+            let mut config = presets::alpha_cluster_shared();
+            config.quantum = SimDuration::from_millis(30);
+            run_npb(config, Mode::MicroGrid, NpbBenchmark::MG, NpbClass::S)
+        });
+    });
+    g.finish();
+}
+
+fn fig12_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12_cpu_scaling");
+    g.sample_size(10);
+    g.bench_function("EP_S_4x_cpu", |b| {
+        b.iter(|| {
+            run_npb(
+                presets::cpu_scaled_cluster(4.0),
+                Mode::MicroGrid,
+                NpbBenchmark::EP,
+                NpbClass::S,
+            )
+        });
+    });
+    g.finish();
+}
+
+fn fig14_vbns(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig14_vbns");
+    g.sample_size(10);
+    g.bench_function("MG_S_155mbps", |b| {
+        b.iter(|| {
+            run_npb(
+                presets::vbns_grid(155e6),
+                Mode::MicroGrid,
+                NpbBenchmark::MG,
+                NpbClass::S,
+            )
+        });
+    });
+    g.finish();
+}
+
+fn fig15_rates(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig15_emulation_rate");
+    g.sample_size(10);
+    g.bench_function("MG_S_4x_system", |b| {
+        b.iter(|| {
+            run_npb(
+                presets::emulation_rate_cluster(4.0),
+                Mode::MicroGrid,
+                NpbBenchmark::MG,
+                NpbClass::S,
+            )
+        });
+    });
+    g.finish();
+}
+
+fn fig16_wavetoy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig16_wavetoy");
+    g.sample_size(10);
+    g.bench_function("grid50_microgrid", |b| {
+        b.iter(|| {
+            run_wavetoy(
+                presets::alpha_cluster(),
+                Mode::MicroGrid,
+                WaveToyConfig::small(),
+            )
+        });
+    });
+    g.finish();
+}
+
+fn fig17_sensors(c: &mut Criterion) {
+    use mgrid_bench::runner::run_npb_with_sensors;
+    let mut g = c.benchmark_group("fig17_autopilot");
+    g.sample_size(10);
+    g.bench_function("EP_S_traced_4pct", |b| {
+        b.iter(|| {
+            run_npb_with_sensors(
+                presets::fig17_cluster(),
+                Mode::MicroGrid,
+                NpbBenchmark::EP,
+                NpbClass::S,
+                SimDuration::from_secs(60),
+            )
+        });
+    });
+    g.finish();
+}
+
+fn fig9_and_tables(c: &mut Criterion) {
+    c.bench_function("fig9_config_table", |b| {
+        b.iter(npb::fig9_configs);
+    });
+}
+
+criterion_group!(
+    benches,
+    fig5_memory,
+    fig6_cpu,
+    fig7_quanta,
+    fig8_pingpong,
+    fig9_and_tables,
+    fig10_npb_class_s,
+    fig11_quantum,
+    fig12_scaling,
+    fig14_vbns,
+    fig15_rates,
+    fig16_wavetoy,
+    fig17_sensors
+);
+criterion_main!(benches);

@@ -1,0 +1,153 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro all                 # every figure (slow: full class A runs)
+//! repro fig5 fig6 fig11     # selected figures
+//! repro --json out/ fig10   # also write JSON reports into out/
+//! MGRID_FAST=1 repro all    # shrunken runs (class S, fewer points)
+//! ```
+
+use std::io::Write;
+
+use mgrid_bench::experiments::{apps, micro, network, npb, scale};
+use mgrid_bench::runner::fast_mode;
+use microgrid::desim::time::SimDuration;
+use microgrid::Report;
+
+struct Figure {
+    id: &'static str,
+    what: &'static str,
+    run: fn() -> Report,
+}
+
+fn figures() -> Vec<Figure> {
+    vec![
+        Figure {
+            id: "fig5",
+            what: "memory capacity microbenchmark",
+            run: micro::fig5_memory,
+        },
+        Figure {
+            id: "fig6",
+            what: "CPU fraction fidelity under competition",
+            run: || micro::fig6_cpu(SimDuration::from_secs(if fast_mode() { 3 } else { 10 })),
+        },
+        Figure {
+            id: "fig7",
+            what: "quanta-size distribution",
+            run: || micro::fig7_quanta(if fast_mode() { 1000 } else { 9000 }),
+        },
+        Figure {
+            id: "fig8",
+            what: "network latency/bandwidth vs message size",
+            run: || network::fig8_network(if fast_mode() { 4 } else { 20 }),
+        },
+        Figure {
+            id: "fig9",
+            what: "virtual Grid configurations table",
+            run: npb::fig9_configs,
+        },
+        Figure {
+            id: "fig10",
+            what: "NPB totals, physical vs MicroGrid",
+            run: npb::fig10_npb,
+        },
+        Figure {
+            id: "fig11",
+            what: "scheduling-quantum sweep",
+            run: npb::fig11_quanta_sweep,
+        },
+        Figure {
+            id: "fig12",
+            what: "CPU scaling at fixed slow network",
+            run: npb::fig12_cpu_scaling,
+        },
+        Figure {
+            id: "fig14",
+            what: "vBNS WAN bottleneck sweep",
+            run: npb::fig14_vbns,
+        },
+        Figure {
+            id: "fig15",
+            what: "emulation-rate invariance",
+            run: npb::fig15_emulation_rates,
+        },
+        Figure {
+            id: "fig16",
+            what: "CACTUS WaveToy",
+            run: apps::fig16_cactus,
+        },
+        Figure {
+            id: "fig17",
+            what: "Autopilot internal validation",
+            run: apps::fig17_autopilot,
+        },
+        Figure {
+            id: "scale",
+            what: "simulator scalability study (extension)",
+            run: scale::scale_study,
+        },
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_dir: Option<String> = None;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => {
+                json_dir = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("--json needs a directory");
+                    std::process::exit(2);
+                }));
+            }
+            "--help" | "-h" => {
+                println!("usage: repro [--json DIR] (all | figN ...)");
+                println!("figures:");
+                for f in figures() {
+                    println!("  {:<6} {}", f.id, f.what);
+                }
+                return;
+            }
+            other => wanted.push(other.to_string()),
+        }
+    }
+    if wanted.is_empty() {
+        eprintln!("usage: repro [--json DIR] (all | figN ...); --help for the list");
+        std::process::exit(2);
+    }
+    let all = wanted.iter().any(|w| w == "all");
+    let figs = figures();
+    let known: Vec<&str> = figs.iter().map(|f| f.id).collect();
+    for w in &wanted {
+        if w != "all" && !known.contains(&w.as_str()) {
+            eprintln!("unknown figure {w:?}; known: {known:?}");
+            std::process::exit(2);
+        }
+    }
+    if let Some(dir) = &json_dir {
+        std::fs::create_dir_all(dir).expect("create json dir");
+    }
+    if fast_mode() {
+        println!("(MGRID_FAST=1: shrunken experiment parameters)\n");
+    }
+    for f in figs {
+        if !all && !wanted.iter().any(|w| w == f.id) {
+            continue;
+        }
+        let t0 = std::time::Instant::now();
+        let report = (f.run)();
+        let dt = t0.elapsed().as_secs_f64();
+        println!("{}", report.to_table());
+        println!("({} regenerated in {dt:.1}s wall)\n", f.id);
+        if let Some(dir) = &json_dir {
+            let path = format!("{dir}/{}.json", f.id);
+            let mut file = std::fs::File::create(&path).expect("create report file");
+            file.write_all(report.to_json().as_bytes())
+                .expect("write report");
+            println!("wrote {path}");
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Micro-benchmark regenerators: Fig 5 (memory), Fig 6 (CPU fraction
+//! fidelity under competition), Fig 7 (quanta-size distribution).
+
+use microgrid::desim::time::{SimDuration, SimTime};
+use microgrid::desim::{SimRng, Simulation};
+use microgrid::hostsim::competitors::{spawn_cpu_hog, spawn_io_competitor, IoCompetitorParams};
+use microgrid::hostsim::memory::probe_max_allocatable;
+use microgrid::hostsim::{MGridScheduler, OsKernel, OsParams, SchedulerParams};
+use microgrid::{Report, Series};
+
+use crate::runner::mean_stddev;
+
+/// Fig 5: enforceable memory limits. A probe allocates until out-of-memory
+/// for caps from 1 KB to 1 MB; the achievable maximum tracks the cap
+/// linearly, short by the ~1 KB per-process overhead.
+pub fn fig5_memory() -> Report {
+    let mut rep = Report::new("fig5", "Memory capacity microbenchmark");
+    let mut points = Vec::new();
+    let mut limit = 1024u64;
+    while limit <= 1024 * 1024 {
+        let max = probe_max_allocatable(limit, 64);
+        points.push((format!("{}KB", limit / 1024), max as f64 / 1024.0));
+        limit *= 2;
+    }
+    rep.series.push(Series {
+        label: "max allocatable (KB) vs specified limit".into(),
+        points,
+    });
+    rep.notes
+        .push("max allocatable = limit - 1KB process overhead (linear), as Fig 5".into());
+    rep
+}
+
+/// Competition scenarios of the processor microbenchmarks.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Competition {
+    /// Scheduler alone on the CPU.
+    None,
+    /// A spinning floating-point competitor.
+    Cpu,
+    /// A 1 MB buffer-flush loop.
+    Io,
+}
+
+impl Competition {
+    fn label(self) -> &'static str {
+        match self {
+            Competition::None => "No Competition",
+            Competition::Cpu => "CPU Competition",
+            Competition::Io => "IO Competition",
+        }
+    }
+
+    fn all() -> [Competition; 3] {
+        [Competition::None, Competition::Io, Competition::Cpu]
+    }
+}
+
+/// Measure the CPU fraction actually delivered to a spinning reference
+/// process paced at `fraction`, under `competition`, over `horizon`.
+pub fn delivered_fraction(fraction: f64, competition: Competition, horizon: SimDuration) -> f64 {
+    let mut sim = Simulation::new(600 + (fraction * 100.0) as u64);
+    let out = std::rc::Rc::new(std::cell::Cell::new(0.0f64));
+    let out2 = out.clone();
+    sim.spawn(async move {
+        let kernel = OsKernel::new(OsParams::default(), SimRng::new(77));
+        let sched = MGridScheduler::start(&kernel, SchedulerParams::default());
+        match competition {
+            Competition::None => {}
+            Competition::Cpu => {
+                spawn_cpu_hog(&kernel);
+            }
+            Competition::Io => {
+                spawn_io_competitor(&kernel, IoCompetitorParams::default(), SimRng::new(78));
+            }
+        }
+        let refproc = kernel.spawn_process("reference");
+        sched.add_job(refproc.clone(), fraction);
+        {
+            let p = refproc.clone();
+            mgrid_desim::spawn(async move {
+                p.run_cpu(SimDuration::from_secs(100_000)).await;
+            });
+        }
+        mgrid_desim::sleep(horizon).await;
+        out2.set(refproc.cpu_used().as_secs_f64() / horizon.as_secs_f64());
+    });
+    sim.run_until(SimTime::ZERO + horizon + SimDuration::from_secs(1));
+    out.get()
+}
+
+/// Fig 6: delivered vs specified CPU fraction (10%..100%) for the three
+/// competition scenarios.
+pub fn fig6_cpu(horizon: SimDuration) -> Report {
+    let mut rep = Report::new("fig6", "Processor microbenchmark: delivered CPU fraction");
+    for competition in Competition::all() {
+        let mut points = Vec::new();
+        for pct in (10..=100).step_by(10) {
+            let delivered = delivered_fraction(pct as f64 / 100.0, competition, horizon);
+            points.push((format!("{pct}%"), delivered * 100.0));
+        }
+        rep.series.push(Series {
+            label: competition.label().into(),
+            points,
+        });
+    }
+    rep.notes.push(
+        "expected shape: linear to ~95% alone; saturating near the fair share under \
+         CPU competition above ~40-50%"
+            .into(),
+    );
+    rep
+}
+
+/// Measure the distribution of granted-quantum wall lengths for an idle
+/// (constantly sleeping) MicroGrid job, as Fig 7.
+pub fn quanta_distribution(competition: Competition, samples: usize) -> (f64, f64, Vec<f64>) {
+    let mut sim = Simulation::new(700);
+    let out: std::rc::Rc<std::cell::RefCell<Vec<f64>>> =
+        std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+    let out2 = out.clone();
+    sim.spawn(async move {
+        let kernel = OsKernel::new(OsParams::default(), SimRng::new(79));
+        let params = SchedulerParams::default();
+        let quantum = params.quantum;
+        let sched = MGridScheduler::start(&kernel, params);
+        match competition {
+            Competition::None => {}
+            Competition::Cpu => {
+                spawn_cpu_hog(&kernel);
+            }
+            Competition::Io => {
+                spawn_io_competitor(&kernel, IoCompetitorParams::default(), SimRng::new(80));
+            }
+        }
+        // "The process that actually runs on the MicroGrid during this
+        // test is an inactive process that constantly sleeps."
+        let idle = kernel.spawn_process("idle");
+        let job = sched.add_job(idle, 0.95);
+        sched.record_grants(job, true);
+        loop {
+            mgrid_desim::sleep(SimDuration::from_millis(200)).await;
+            let grants = sched.grants(job);
+            if grants.len() >= samples {
+                *out2.borrow_mut() = grants
+                    .iter()
+                    .map(|g| g.as_secs_f64() / quantum.as_secs_f64())
+                    .collect();
+                break;
+            }
+        }
+    });
+    sim.run_until(SimTime::from_secs_f64(600.0));
+    let normalized = out.borrow().clone();
+    let (mean, dev) = mean_stddev(&normalized);
+    (mean, dev, normalized)
+}
+
+/// Fig 7: normalized quanta-size distribution (mean and deviation) for the
+/// three competition scenarios.
+pub fn fig7_quanta(samples: usize) -> Report {
+    let mut rep = Report::new("fig7", "Distribution of quanta sizes (normalized)");
+    for competition in Competition::all() {
+        let (mean, dev, _) = quanta_distribution(competition, samples);
+        rep.series.push(Series {
+            label: competition.label().into(),
+            points: vec![("mean".into(), mean), ("dev".into(), dev)],
+        });
+    }
+    rep.notes.push(format!("{samples} grants per scenario, normalized to the nominal quantum"));
+    rep.notes.push(
+        "paper: none 1.000/0.002, CPU 1.01/0.015, IO 0.978/0.027 (normalized to unity mean)"
+            .into(),
+    );
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_is_linear_minus_overhead() {
+        let rep = fig5_memory();
+        let pts = &rep.series[0].points;
+        // limit 64KB -> 63KB allocatable.
+        let kb64 = pts.iter().find(|(l, _)| l == "64KB").unwrap();
+        assert_eq!(kb64.1, 63.0);
+        // Strictly increasing.
+        for w in pts.windows(2) {
+            assert!(w[1].1 > w[0].1);
+        }
+    }
+
+    #[test]
+    fn fig6_shapes() {
+        let horizon = SimDuration::from_secs(4);
+        // Alone: 30% is delivered accurately; 100% hits the ceiling.
+        let alone30 = delivered_fraction(0.3, Competition::None, horizon);
+        assert!((alone30 - 0.3).abs() < 0.03, "alone 30% -> {alone30}");
+        let alone100 = delivered_fraction(1.0, Competition::None, horizon);
+        assert!(alone100 > 0.9, "alone 100% -> {alone100}");
+        // Against a CPU hog: low fractions accurate, high fractions
+        // saturate near the fair share.
+        let hog20 = delivered_fraction(0.2, Competition::Cpu, horizon);
+        assert!((hog20 - 0.2).abs() < 0.05, "hog 20% -> {hog20}");
+        let hog90 = delivered_fraction(0.9, Competition::Cpu, horizon);
+        assert!(hog90 < 0.75, "hog 90% -> {hog90} (must saturate)");
+        assert!(hog90 > 0.4, "hog 90% -> {hog90} (fair share floor)");
+    }
+
+    #[test]
+    fn fig7_distribution_sane() {
+        let (mean, dev, samples) = quanta_distribution(Competition::None, 300);
+        assert!(samples.len() >= 300);
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+        assert!(dev < 0.05, "dev {dev}");
+        let (mean_io, dev_io, _) = quanta_distribution(Competition::Io, 300);
+        assert!(dev_io >= dev, "IO must widen the distribution: {dev_io} vs {dev}");
+        assert!((mean_io - 1.0).abs() < 0.2, "io mean {mean_io}");
+    }
+}

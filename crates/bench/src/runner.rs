@@ -1,0 +1,160 @@
+//! Shared drivers for the figure regenerators.
+
+use std::future::Future;
+use std::pin::Pin;
+
+use microgrid::apps::npb::{self, NpbBenchmark, NpbClass, NpbResult, NpbSensors};
+use microgrid::apps::{Autopilot, WaveToyConfig, WaveToyResult};
+use microgrid::desim::time::SimDuration;
+use microgrid::desim::Simulation;
+use microgrid::mpi::MpiParams;
+use microgrid::{GridConfig, VirtualGrid};
+
+/// Which side of a comparison to run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Mode {
+    /// "Physical grid": direct hosts, identity clock.
+    Physical,
+    /// The MicroGrid: paced hosts, rate-scaled clock.
+    MicroGrid,
+}
+
+impl Mode {
+    /// Both sides, physical first.
+    pub fn both() -> [Mode; 2] {
+        [Mode::Physical, Mode::MicroGrid]
+    }
+}
+
+fn build(config: GridConfig, mode: Mode) -> VirtualGrid {
+    match mode {
+        Mode::Physical => VirtualGrid::build_baseline(config).expect("valid config"),
+        Mode::MicroGrid => VirtualGrid::build(config).expect("valid config"),
+    }
+}
+
+/// Run one NPB benchmark on `config` in `mode`; returns rank 0's result.
+pub fn run_npb(config: GridConfig, mode: Mode, bench: NpbBenchmark, class: NpbClass) -> NpbResult {
+    run_npb_on_hosts(config, mode, bench, class, None)
+}
+
+/// As [`run_npb`], with an explicit host subset (e.g. the 2+2 vBNS
+/// placement uses all four hosts, but callers may restrict).
+pub fn run_npb_on_hosts(
+    config: GridConfig,
+    mode: Mode,
+    bench: NpbBenchmark,
+    class: NpbClass,
+    hosts: Option<Vec<String>>,
+) -> NpbResult {
+    let mut sim = Simulation::new(config.seed ^ 0x5eed);
+    let results = sim.block_on(async move {
+        let grid = build(config, mode);
+        let hosts = hosts.unwrap_or_else(|| grid.host_names());
+        grid.mpirun(&hosts, MpiParams::default(), move |comm| {
+            Box::pin(npb::run(bench, comm, class, None))
+                as Pin<Box<dyn Future<Output = NpbResult>>>
+        })
+        .await
+    });
+    results.into_iter().next().expect("rank 0 result")
+}
+
+/// Run an NPB benchmark with Autopilot sensors attached to rank 0 and a
+/// 1-virtual-second sampling period; returns (result, counter trace).
+pub fn run_npb_with_sensors(
+    config: GridConfig,
+    mode: Mode,
+    bench: NpbBenchmark,
+    class: NpbClass,
+    trace_horizon: SimDuration,
+) -> (NpbResult, Vec<(f64, f64)>) {
+    let mut sim = Simulation::new(config.seed ^ 0xaa);
+    sim.block_on(async move {
+        let grid = build(config, mode);
+        let ap = Autopilot::new();
+        let counter = ap.sensor("counter");
+        ap.start_sampling(grid.clock(), SimDuration::from_secs(1), trace_horizon);
+        let hosts = grid.host_names();
+        let results = grid
+            .mpirun(&hosts, MpiParams::default(), move |comm| {
+                let sensors = if comm.rank() == 0 {
+                    Some(NpbSensors {
+                        counter: counter.clone(),
+                    })
+                } else {
+                    None
+                };
+                Box::pin(npb::run(bench, comm, class, sensors))
+                    as Pin<Box<dyn Future<Output = NpbResult>>>
+            })
+            .await;
+        let result = results.into_iter().next().expect("rank 0 result");
+        (result, ap.trace("counter"))
+    })
+}
+
+/// Run CACTUS WaveToy; returns rank 0's result.
+pub fn run_wavetoy(config: GridConfig, mode: Mode, wt: WaveToyConfig) -> WaveToyResult {
+    let mut sim = Simulation::new(config.seed ^ 0xcac);
+    let results = sim.block_on(async move {
+        let grid = build(config, mode);
+        let hosts = grid.host_names();
+        grid.mpirun(&hosts, MpiParams::default(), move |comm| {
+            Box::pin(microgrid::apps::wavetoy::run(comm, wt, None))
+                as Pin<Box<dyn Future<Output = WaveToyResult>>>
+        })
+        .await
+    });
+    results.into_iter().next().expect("rank 0 result")
+}
+
+/// Fast mode shrinks long experiments (set `MGRID_FAST=1`).
+pub fn fast_mode() -> bool {
+    std::env::var("MGRID_FAST").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Class A normally, class S in fast mode.
+pub fn class_for_run() -> NpbClass {
+    if fast_mode() {
+        NpbClass::S
+    } else {
+        NpbClass::A
+    }
+}
+
+/// Mean and standard deviation of a sample.
+pub fn mean_stddev(xs: &[f64]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_stddev_basic() {
+        let (m, s) = mean_stddev(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((m - 2.5).abs() < 1e-12);
+        assert!((s - (1.25f64).sqrt()).abs() < 1e-12);
+        assert_eq!(mean_stddev(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn npb_runner_runs_both_modes() {
+        for mode in Mode::both() {
+            let r = run_npb(
+                microgrid::presets::alpha_cluster(),
+                mode,
+                NpbBenchmark::IS,
+                NpbClass::S,
+            );
+            assert!(r.verified, "{mode:?}: {r:?}");
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! `mgrid` — run Grid workloads on virtual Grids from the command line.
+//!
+//! ```text
+//! mgrid presets                          # list built-in configurations
+//! mgrid dump alpha_cluster > grid.json   # write a preset's JSON
+//! mgrid validate grid.json               # check a configuration
+//! mgrid rate grid.json                   # show the coordinator's plan
+//! mgrid run grid.json MG S               # NPB MG class S on the MicroGrid
+//! mgrid run grid.json MG S --baseline    # ... on the physical baseline
+//! mgrid run grid.json wavetoy 50         # CACTUS WaveToy, 50^3 grid
+//! ```
+
+use std::future::Future;
+use std::pin::Pin;
+
+use microgrid::apps::npb::{self, NpbBenchmark, NpbClass, NpbResult};
+use microgrid::apps::wavetoy::{self, WaveToyConfig, WaveToyResult};
+use microgrid::desim::Simulation;
+use microgrid::mpi::MpiParams;
+use microgrid::{plan_rate, presets, GridConfig, VirtualGrid};
+
+fn preset_by_name(name: &str) -> Option<GridConfig> {
+    match name {
+        "alpha_cluster" => Some(presets::alpha_cluster()),
+        "alpha_cluster_shared" => Some(presets::alpha_cluster_shared()),
+        "hpvm_cluster" => Some(presets::hpvm_cluster()),
+        "vbns_oc12" => Some(presets::vbns_grid(622e6)),
+        "vbns_oc3" => Some(presets::vbns_grid(155e6)),
+        "vbns_10mbps" => Some(presets::vbns_grid(10e6)),
+        "fig17_cluster" => Some(presets::fig17_cluster()),
+        _ => None,
+    }
+}
+
+const PRESETS: &[&str] = &[
+    "alpha_cluster",
+    "alpha_cluster_shared",
+    "hpvm_cluster",
+    "vbns_oc12",
+    "vbns_oc3",
+    "vbns_10mbps",
+    "fig17_cluster",
+];
+
+fn load_config(path_or_preset: &str) -> GridConfig {
+    if let Some(c) = preset_by_name(path_or_preset) {
+        return c;
+    }
+    let text = std::fs::read_to_string(path_or_preset).unwrap_or_else(|e| {
+        eprintln!("cannot read {path_or_preset}: {e}");
+        std::process::exit(2);
+    });
+    GridConfig::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("invalid configuration {path_or_preset}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mgrid <command>\n\
+         \x20 presets\n\
+         \x20 dump <preset>\n\
+         \x20 validate <config.json|preset>\n\
+         \x20 rate <config.json|preset>\n\
+         \x20 run <config.json|preset> <EP|BT|LU|MG|IS|CG|FT|SP> <S|A> [--baseline]\n\
+         \x20 run <config.json|preset> wavetoy <grid-edge> [--baseline]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("presets") => {
+            for p in PRESETS {
+                println!("{p}");
+            }
+        }
+        Some("dump") => {
+            let name = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
+            let Some(c) = preset_by_name(name) else {
+                eprintln!("unknown preset {name:?} (try `mgrid presets`)");
+                std::process::exit(2);
+            };
+            println!("{}", c.to_json());
+        }
+        Some("validate") => {
+            let config = load_config(args.get(1).map(String::as_str).unwrap_or_else(|| usage()));
+            match config.validate() {
+                Ok(()) => println!("ok: {} ({} virtual hosts)", config.name, config.virtual_hosts.len()),
+                Err(e) => {
+                    eprintln!("invalid: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Some("rate") => {
+            let config = load_config(args.get(1).map(String::as_str).unwrap_or_else(|| usage()));
+            match plan_rate(&config) {
+                Ok(plan) => {
+                    println!("feasible rate bound: {:.4}", plan.feasible);
+                    println!("chosen rate:         {:.4}", plan.chosen);
+                    for (host, bound) in &plan.cpu_bounds {
+                        println!("  {host}: <= {bound:.4}");
+                    }
+                }
+                Err(e) => {
+                    eprintln!("infeasible: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Some("run") => run_cmd(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn run_cmd(args: &[String]) {
+    if args.len() < 2 {
+        usage();
+    }
+    let config = load_config(&args[0]);
+    let baseline = args.iter().any(|a| a == "--baseline");
+    let app = args[1].to_ascii_uppercase();
+    let mode = if baseline { "physical baseline" } else { "MicroGrid" };
+    println!("running {app} on '{}' ({mode})", config.name);
+
+    if app == "WAVETOY" {
+        let edge: u32 = args
+            .get(2)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(50);
+        let wt = WaveToyConfig {
+            grid_edge: edge,
+            steps: 100,
+        };
+        let mut sim = Simulation::new(config.seed);
+        let results = sim.block_on(async move {
+            let grid = build(config, baseline);
+            grid.mpirun_all(MpiParams::default(), move |comm| {
+                Box::pin(wavetoy::run(comm, wt, None))
+                    as Pin<Box<dyn Future<Output = WaveToyResult>>>
+            })
+            .await
+        });
+        let r = &results[0];
+        println!(
+            "wavetoy {}^3: {:.3} virtual s, energy drift {:.4}, verified {}",
+            r.grid_edge, r.virtual_seconds, r.energy_drift, r.verified
+        );
+        return;
+    }
+
+    let bench = match app.as_str() {
+        "EP" => NpbBenchmark::EP,
+        "BT" => NpbBenchmark::BT,
+        "LU" => NpbBenchmark::LU,
+        "MG" => NpbBenchmark::MG,
+        "IS" => NpbBenchmark::IS,
+        "CG" => NpbBenchmark::CG,
+        "FT" => NpbBenchmark::FT,
+        "SP" => NpbBenchmark::SP,
+        other => {
+            eprintln!("unknown application {other:?}");
+            std::process::exit(2);
+        }
+    };
+    let class = match args.get(2).map(String::as_str) {
+        Some("A") | Some("a") => NpbClass::A,
+        _ => NpbClass::S,
+    };
+    let mut sim = Simulation::new(config.seed);
+    let results = sim.block_on(async move {
+        let grid = build(config, baseline);
+        grid.mpirun_all(MpiParams::default(), move |comm| {
+            Box::pin(npb::run(bench, comm, class, None))
+                as Pin<Box<dyn Future<Output = NpbResult>>>
+        })
+        .await
+    });
+    let r = &results[0];
+    println!(
+        "{} class {}: {:.3} virtual s on {} ranks, verified {}",
+        r.benchmark,
+        r.class.name(),
+        r.virtual_seconds,
+        r.ranks,
+        r.verified
+    );
+}
+
+fn build(config: GridConfig, baseline: bool) -> VirtualGrid {
+    let result = if baseline {
+        VirtualGrid::build_baseline(config)
+    } else {
+        VirtualGrid::build(config)
+    };
+    result.unwrap_or_else(|e| {
+        eprintln!("cannot build grid: {e}");
+        std::process::exit(1);
+    })
+}

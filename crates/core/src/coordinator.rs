@@ -1,0 +1,157 @@
+//! Global coordination: choosing the simulation rate (paper §2.3).
+//!
+//! "The simulation rate (SR) is defined for each resource type r as
+//! `SR_r = spec(physical r) / spec(virtual r mapped to this physical
+//! resource)`. … No resource should be allowed to work faster than this
+//! rate … This global coordination mechanism for the rate of simulation
+//! over all available resources ensures accurate performance analysis."
+//!
+//! For CPUs the bound is per *physical host*: the virtual hosts mapped to
+//! it together need `rate * sum(virtual speeds)` of its capacity, so
+//! `rate <= C_p / sum(V)`. The network simulator in this reproduction is
+//! not itself resource-bound (it is simulated, not run on a real NIC), so
+//! networks constrain the rate only through an optional explicit cap —
+//! standing in for NSE's unpredictable compute demand, which the paper
+//! lists as an open problem.
+
+use std::collections::HashMap;
+
+use crate::config::{ConfigError, GridConfig, RatePolicy};
+
+/// Per-resource simulation-rate bounds, and the chosen global rate.
+#[derive(Clone, Debug)]
+pub struct RatePlan {
+    /// `(physical host, feasible rate bound)` per CPU, ascending.
+    pub cpu_bounds: Vec<(String, f64)>,
+    /// The binding constraint.
+    pub feasible: f64,
+    /// The rate actually selected by the policy.
+    pub chosen: f64,
+}
+
+/// Compute the feasible bound and select the rate per the config's policy.
+pub fn plan_rate(config: &GridConfig) -> Result<RatePlan, ConfigError> {
+    config.validate()?;
+    let mut demand: HashMap<&str, f64> = HashMap::new();
+    for v in &config.virtual_hosts {
+        *demand.entry(v.mapped_to.as_str()).or_insert(0.0) += v.spec.speed_mops;
+    }
+    let mut cpu_bounds: Vec<(String, f64)> = config
+        .physical_hosts
+        .iter()
+        .filter_map(|p| {
+            demand
+                .get(p.name.as_str())
+                .map(|v| (p.name.clone(), p.speed_mops / v))
+        })
+        .collect();
+    cpu_bounds.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+    let feasible = cpu_bounds
+        .first()
+        .map(|(_, r)| *r)
+        .unwrap_or(f64::INFINITY);
+    let chosen = match config.rate {
+        RatePolicy::Auto { safety } => {
+            assert!(
+                safety > 0.0 && safety <= 1.0,
+                "safety factor must be in (0,1], got {safety}"
+            );
+            if feasible.is_finite() {
+                feasible * safety
+            } else {
+                1.0
+            }
+        }
+        RatePolicy::Fixed(r) => {
+            if r > feasible {
+                return Err(ConfigError::InfeasibleRate {
+                    requested: format!("{r}"),
+                    feasible: format!("{feasible}"),
+                });
+            }
+            r
+        }
+    };
+    Ok(RatePlan {
+        cpu_bounds,
+        feasible,
+        chosen,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{NetworkConfig, VirtualHostConfig};
+    use mgrid_desim::time::SimDuration;
+    use mgrid_hostsim::{PhysicalHostSpec, VirtualHostSpec};
+
+    fn config(rate: RatePolicy) -> GridConfig {
+        GridConfig {
+            name: "c".into(),
+            physical_hosts: vec![
+                PhysicalHostSpec::new("p0", 500.0, 1 << 30),
+                PhysicalHostSpec::new("p1", 1000.0, 1 << 30),
+            ],
+            virtual_hosts: vec![
+                VirtualHostConfig {
+                    spec: VirtualHostSpec::new("v0", 100.0, 1 << 27),
+                    mapped_to: "p0".into(),
+                },
+                VirtualHostConfig {
+                    spec: VirtualHostSpec::new("v1", 150.0, 1 << 27),
+                    mapped_to: "p0".into(),
+                },
+                VirtualHostConfig {
+                    spec: VirtualHostSpec::new("v2", 100.0, 1 << 27),
+                    mapped_to: "p1".into(),
+                },
+            ],
+            network: NetworkConfig::default(),
+            rate,
+            quantum: SimDuration::from_millis(10),
+            seed: 0,
+        }
+    }
+
+    #[test]
+    fn feasible_is_min_over_hosts() {
+        // p0: 500/(100+150) = 2.0 ; p1: 1000/100 = 10.0.
+        let plan = plan_rate(&config(RatePolicy::Auto { safety: 1.0 })).unwrap();
+        assert_eq!(plan.feasible, 2.0);
+        assert_eq!(plan.chosen, 2.0);
+        assert_eq!(plan.cpu_bounds[0].0, "p0");
+    }
+
+    #[test]
+    fn safety_factor_scales_choice() {
+        let plan = plan_rate(&config(RatePolicy::Auto { safety: 0.5 })).unwrap();
+        assert_eq!(plan.chosen, 1.0);
+    }
+
+    #[test]
+    fn fixed_rate_within_bound_accepted() {
+        let plan = plan_rate(&config(RatePolicy::Fixed(0.04))).unwrap();
+        assert_eq!(plan.chosen, 0.04);
+    }
+
+    #[test]
+    fn fixed_rate_beyond_bound_rejected() {
+        let err = plan_rate(&config(RatePolicy::Fixed(3.0))).unwrap_err();
+        assert!(matches!(err, ConfigError::InfeasibleRate { .. }));
+    }
+
+    #[test]
+    fn slower_virtual_cpu_allows_faster_than_realtime() {
+        // A 10-Mops virtual host on a 500-Mops physical host could run 50x
+        // real time (the paper's "can be run at a variety of actual
+        // speeds" observation behind Fig 15).
+        let mut c = config(RatePolicy::Auto { safety: 1.0 });
+        c.virtual_hosts = vec![VirtualHostConfig {
+            spec: VirtualHostSpec::new("slow", 10.0, 1 << 27),
+            mapped_to: "p0".into(),
+        }];
+        let plan = plan_rate(&c).unwrap();
+        assert_eq!(plan.feasible, 50.0);
+    }
+}

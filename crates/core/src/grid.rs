@@ -1,0 +1,265 @@
+//! Assembling a running virtual Grid from a [`GridConfig`].
+//!
+//! [`VirtualGrid::build`] is the MicroGrid proper: it plans the simulation
+//! rate, brings up the simulated network under a rate-scaled virtual
+//! clock, creates the physical-host models with their scheduler daemons,
+//! maps each virtual host at its CPU fraction, fills the mapping table,
+//! and publishes Fig 3-style records into the GIS.
+//!
+//! [`VirtualGrid::build_baseline`] wires the *same configuration* as a
+//! "physical grid": virtual specs become real machines, no pacing, an
+//! identity clock — the baseline side of every validation figure.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use mgrid_desim::vclock::VirtualClock;
+use mgrid_desim::SimRng;
+use mgrid_gis::{Directory, Dn};
+use mgrid_hostsim::{OsParams, PhysicalHost, PhysicalHostSpec, SchedulerParams};
+use mgrid_middleware::{HostTable, ProcessCtx};
+use mgrid_mpi::{Comm, MpiParams};
+use mgrid_netsim::{LinkSpec, NetParams, Network, NodeId, TopologyBuilder};
+
+use crate::config::{ConfigError, GridConfig};
+use crate::coordinator::{plan_rate, RatePlan};
+
+/// A running virtual Grid.
+pub struct VirtualGrid {
+    config: GridConfig,
+    table: HostTable,
+    network: Network,
+    clock: VirtualClock,
+    gis: Rc<RefCell<Directory>>,
+    physical: HashMap<String, PhysicalHost>,
+    plan: Option<RatePlan>,
+    baseline: bool,
+}
+
+impl VirtualGrid {
+    /// Bring up the MicroGrid for `config` (must be called inside a
+    /// running simulation).
+    pub fn build(config: GridConfig) -> Result<VirtualGrid, ConfigError> {
+        let plan = plan_rate(&config)?;
+        Self::assemble(config, Some(plan), false)
+    }
+
+    /// Bring up the "physical grid" baseline: each virtual host spec is
+    /// instantiated as a real machine (no MicroGrid pacing, identity
+    /// clock, same network topology).
+    pub fn build_baseline(config: GridConfig) -> Result<VirtualGrid, ConfigError> {
+        config.validate()?;
+        Self::assemble(config, None, true)
+    }
+
+    fn assemble(
+        config: GridConfig,
+        plan: Option<RatePlan>,
+        baseline: bool,
+    ) -> Result<VirtualGrid, ConfigError> {
+        let rate = plan.as_ref().map(|p| p.chosen).unwrap_or(1.0);
+        let clock = VirtualClock::new(rate);
+        let mut rng = SimRng::new(config.seed);
+
+        // Virtual network: hosts in config order, then routers.
+        let mut b = TopologyBuilder::new();
+        let mut node_of: HashMap<String, NodeId> = HashMap::new();
+        for v in &config.virtual_hosts {
+            node_of.insert(v.spec.name.clone(), b.host(&v.spec.name));
+        }
+        for r in &config.network.routers {
+            node_of.insert(r.clone(), b.router(r));
+        }
+        for l in &config.network.links {
+            let spec = LinkSpec {
+                bandwidth_bps: l.bandwidth_bps,
+                delay: l.delay,
+                queue_bytes: l.queue_bytes.unwrap_or(512 * 1024),
+            };
+            b.link(node_of[&l.a], node_of[&l.b], spec);
+        }
+        let network = Network::new(b.build(), clock.clone(), NetParams::default());
+
+        let sched_params = SchedulerParams {
+            quantum: config.quantum,
+            ..SchedulerParams::default()
+        };
+
+        // Physical hosts (emulated mode) and the mapping table.
+        let table = HostTable::new();
+        let mut physical = HashMap::new();
+        if baseline {
+            // The virtual hosts ARE the machines.
+            for v in &config.virtual_hosts {
+                let spec = PhysicalHostSpec::new(
+                    format!("{}", v.spec.name),
+                    v.spec.speed_mops,
+                    v.spec.memory_bytes,
+                );
+                let ph = PhysicalHost::new(
+                    spec,
+                    OsParams::default(),
+                    sched_params.clone(),
+                    rng.fork(),
+                );
+                physical.insert(v.spec.name.clone(), ph.clone());
+                table.register(&v.spec.name, node_of[&v.spec.name], ph.as_direct_virtual());
+            }
+        } else {
+            for p in &config.physical_hosts {
+                let ph = PhysicalHost::new(
+                    p.clone(),
+                    OsParams::default(),
+                    sched_params.clone(),
+                    rng.fork(),
+                );
+                physical.insert(p.name.clone(), ph);
+            }
+            for v in &config.virtual_hosts {
+                let ph = &physical[&v.mapped_to];
+                let vh = ph.map_virtual(v.spec.clone(), rate);
+                table.register(&v.spec.name, node_of[&v.spec.name], vh);
+            }
+        }
+
+        // Publish GIS records (Fig 3).
+        let mut gis = Directory::new();
+        let base = Dn::parse("ou=Concurrent Systems Architecture Group, o=Grid")
+            .expect("static DN parses");
+        for v in &config.virtual_hosts {
+            gis.upsert(mgrid_gis::virtualization::virtual_host_record(
+                &base,
+                &v.spec.name,
+                &config.name,
+                &v.mapped_to,
+                v.spec.speed_mops,
+                v.spec.memory_bytes,
+            ));
+        }
+        for (i, l) in config.network.links.iter().enumerate() {
+            let nn = format!("1.11.{}.0", i);
+            let speed = format!(
+                "{}Mbps {}ms",
+                l.bandwidth_bps / 1e6,
+                l.delay.as_secs_f64() * 1e3
+            );
+            let nw_type = if l.delay.as_millis() >= 5 { "WAN" } else { "LAN" };
+            gis.upsert(mgrid_gis::virtualization::virtual_network_record(
+                &base,
+                &nn,
+                &config.name,
+                nw_type,
+                &speed,
+            ));
+        }
+
+        Ok(VirtualGrid {
+            config,
+            table,
+            network,
+            clock,
+            gis: Rc::new(RefCell::new(gis)),
+            physical,
+            plan,
+            baseline,
+        })
+    }
+
+    /// The configuration this grid was built from.
+    pub fn config(&self) -> &GridConfig {
+        &self.config
+    }
+
+    /// The chosen simulation rate (1.0 for baselines).
+    pub fn rate(&self) -> f64 {
+        self.clock.rate()
+    }
+
+    /// The coordinator's rate plan (absent for baselines).
+    pub fn rate_plan(&self) -> Option<&RatePlan> {
+        self.plan.as_ref()
+    }
+
+    /// True if this grid is a direct "physical grid" baseline.
+    pub fn is_baseline(&self) -> bool {
+        self.baseline
+    }
+
+    /// The virtualization mapping table.
+    pub fn table(&self) -> &HostTable {
+        &self.table
+    }
+
+    /// The simulated network.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// The global virtual clock.
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    /// The GIS directory holding this grid's records.
+    pub fn gis(&self) -> Rc<RefCell<Directory>> {
+        self.gis.clone()
+    }
+
+    /// A physical host model by name (virtual-host name for baselines).
+    pub fn physical_host(&self, name: &str) -> Option<&PhysicalHost> {
+        self.physical.get(name)
+    }
+
+    /// Virtual host names, in configuration order.
+    pub fn host_names(&self) -> Vec<String> {
+        self.config.virtual_host_names()
+    }
+
+    /// Start a process on a virtual host.
+    pub fn spawn_process(
+        &self,
+        host: &str,
+        name: impl Into<String>,
+    ) -> Result<ProcessCtx, mgrid_hostsim::OutOfMemory> {
+        ProcessCtx::spawn(&self.table, &self.network, &self.clock, host, name)
+    }
+
+    /// Run an SPMD body with one rank per listed host (see
+    /// [`mgrid_mpi::mpirun`]).
+    pub async fn mpirun<T, F, Fut>(&self, hosts: &[String], params: MpiParams, body: F) -> Vec<T>
+    where
+        T: 'static,
+        F: Fn(Comm) -> Fut,
+        Fut: std::future::Future<Output = T> + 'static,
+    {
+        mgrid_mpi::mpirun(&self.table, &self.network, &self.clock, hosts, params, body).await
+    }
+
+    /// Convenience: `mpirun` across every virtual host.
+    pub async fn mpirun_all<T, F, Fut>(&self, params: MpiParams, body: F) -> Vec<T>
+    where
+        T: 'static,
+        F: Fn(Comm) -> Fut,
+        Fut: std::future::Future<Output = T> + 'static,
+    {
+        let hosts = self.host_names();
+        self.mpirun(&hosts, params, body).await
+    }
+
+    /// Dynamic virtual time (paper §5, near-term future work): change the
+    /// global simulation rate mid-run. The virtual clock stays continuous,
+    /// every virtual host's CPU fraction is retuned, and the network's
+    /// time conversions follow automatically.
+    ///
+    /// # Panics
+    /// Panics on baseline grids or if `new_rate` is infeasible for any
+    /// mapping.
+    pub fn set_rate(&self, new_rate: f64) {
+        assert!(!self.baseline, "baseline grids have no simulation rate");
+        for entry in self.table.entries() {
+            entry.vhost.set_rate(new_rate);
+        }
+        self.clock.set_rate(mgrid_desim::now(), new_rate);
+    }
+}

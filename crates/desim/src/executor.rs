@@ -1,0 +1,719 @@
+//! The single-threaded deterministic async executor.
+//!
+//! Tasks are ordinary Rust futures. Time only advances when every runnable
+//! task has been polled to a blocked state; the executor then pops the
+//! earliest timer from the event queue and jumps the clock to it. Events at
+//! equal instants are ordered by registration sequence number, so a given
+//! program + seed always produces the same trace.
+//!
+//! The executor is deliberately `!Send`: a simulation lives on one thread
+//! and uses `Rc`/`RefCell` internally. Parallelism across *simulations*
+//! (e.g. Criterion benches sweeping parameters) is still possible because
+//! each `Simulation` is self-contained.
+
+use std::cell::{Cell, RefCell};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+
+use crate::rng::{SharedRng, SimRng};
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of a spawned task.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct TaskId(u64);
+
+type BoxedFuture = Pin<Box<dyn Future<Output = ()>>>;
+
+/// Wakers must be `Send + Sync`, so the ready queue they push into is the
+/// one `Arc<Mutex<..>>` in the engine. It is never actually contended: the
+/// executor and all tasks run on one thread.
+struct ReadyQueue {
+    queue: Mutex<VecDeque<TaskId>>,
+}
+
+struct TaskWaker {
+    id: TaskId,
+    ready: Arc<ReadyQueue>,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.ready.queue.lock().unwrap().push_back(self.id);
+    }
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.ready.queue.lock().unwrap().push_back(self.id);
+    }
+}
+
+#[derive(PartialEq, Eq)]
+struct TimerEntry {
+    at: SimTime,
+    seq: u64,
+}
+
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+pub(crate) struct SimInner {
+    now: Cell<SimTime>,
+    next_task_id: Cell<u64>,
+    next_timer_seq: Cell<u64>,
+    tasks: RefCell<HashMap<TaskId, BoxedFuture>>,
+    /// Tasks spawned while the executor is mid-poll; folded in between polls.
+    incoming: RefCell<Vec<(TaskId, BoxedFuture)>>,
+    ready: Arc<ReadyQueue>,
+    timers: RefCell<BinaryHeap<Reverse<TimerEntry>>>,
+    timer_wakers: RefCell<HashMap<u64, Waker>>,
+    rng: SharedRng,
+    polls: Cell<u64>,
+    daemons: RefCell<std::collections::HashSet<TaskId>>,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Rc<SimInner>>> = const { RefCell::new(None) };
+}
+
+fn with_current<R>(f: impl FnOnce(&Rc<SimInner>) -> R) -> R {
+    CURRENT.with(|c| {
+        let borrow = c.borrow();
+        let inner = borrow
+            .as_ref()
+            .expect("not inside a Simulation context (call via Simulation::run or block_on)");
+        f(inner)
+    })
+}
+
+/// The simulation driver.
+///
+/// ```
+/// use mgrid_desim::{Simulation, time::SimDuration};
+///
+/// let mut sim = Simulation::new(42);
+/// sim.spawn(async {
+///     mgrid_desim::sleep(SimDuration::from_millis(5)).await;
+/// });
+/// let end = sim.run();
+/// assert_eq!(end.as_millis(), 5);
+/// ```
+pub struct Simulation {
+    inner: Rc<SimInner>,
+}
+
+impl Simulation {
+    /// Create a simulation whose RNG streams derive from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Simulation {
+            inner: Rc::new(SimInner {
+                now: Cell::new(SimTime::ZERO),
+                next_task_id: Cell::new(0),
+                next_timer_seq: Cell::new(0),
+                tasks: RefCell::new(HashMap::new()),
+                incoming: RefCell::new(Vec::new()),
+                ready: Arc::new(ReadyQueue {
+                    queue: Mutex::new(VecDeque::new()),
+                }),
+                timers: RefCell::new(BinaryHeap::new()),
+                timer_wakers: RefCell::new(HashMap::new()),
+                rng: SharedRng::new(seed),
+                polls: Cell::new(0),
+                daemons: RefCell::new(std::collections::HashSet::new()),
+            }),
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.inner.now.get()
+    }
+
+    /// Spawn a root task. May also be called from inside tasks through the
+    /// free function [`spawn`].
+    pub fn spawn<F>(&self, fut: F) -> JoinHandle<F::Output>
+    where
+        F: Future + 'static,
+        F::Output: 'static,
+    {
+        self.inner.spawn_future(fut)
+    }
+
+    /// Shared deterministic RNG for this simulation.
+    pub fn rng(&self) -> SharedRng {
+        self.inner.rng.clone()
+    }
+
+    /// Total number of task polls performed (engine throughput metric).
+    pub fn poll_count(&self) -> u64 {
+        self.inner.polls.get()
+    }
+
+    /// Number of non-daemon tasks that have been spawned but not yet
+    /// completed. Daemon tasks (see [`spawn_daemon`]) are infrastructure
+    /// loops expected to outlive the workload and are not counted.
+    pub fn live_tasks(&self) -> usize {
+        let daemons = self.inner.daemons.borrow();
+        self.inner
+            .tasks
+            .borrow()
+            .keys()
+            .chain(self.inner.incoming.borrow().iter().map(|(id, _)| id))
+            .filter(|id| !daemons.contains(id))
+            .count()
+    }
+
+    /// Run until no runnable tasks and no pending timers remain.
+    ///
+    /// Returns the final simulation time. Tasks that are still blocked on
+    /// external wakeups (e.g. a channel nobody will ever write to) are left
+    /// pending; check [`Simulation::live_tasks`] to detect deadlock.
+    pub fn run(&mut self) -> SimTime {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Run until the event queue is exhausted or the next event would occur
+    /// after `deadline`. The clock is left at `min(deadline, final time)`.
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        self.run_core(deadline, || false)
+    }
+
+    /// The core loop: run until quiescence, the deadline, or `stop()`
+    /// returning true (checked between event batches).
+    fn run_core(&mut self, deadline: SimTime, stop: impl Fn() -> bool) -> SimTime {
+        let _guard = ContextGuard::enter(self.inner.clone());
+        loop {
+            self.inner.fold_incoming();
+            // Phase 1: poll every ready task until quiescent.
+            loop {
+                let next = self.inner.ready.queue.lock().unwrap().pop_front();
+                let Some(id) = next else { break };
+                self.inner.poll_task(id);
+                self.inner.fold_incoming();
+            }
+            if stop() {
+                break;
+            }
+            // Phase 2: advance to the earliest timer.
+            let Some(entry_at) = self.inner.peek_timer() else {
+                break;
+            };
+            if entry_at > deadline {
+                self.inner.now.set(deadline);
+                break;
+            }
+            self.inner.advance_to(entry_at);
+        }
+        self.inner.now.get()
+    }
+
+    /// Run the simulation to completion and panic if any task is still
+    /// blocked at the end — the standard harness for tests, where a blocked
+    /// task means a deadlock bug.
+    pub fn run_to_completion(&mut self) -> SimTime {
+        let t = self.run();
+        let live = self.live_tasks();
+        assert!(live == 0, "simulation ended with {live} blocked task(s) at {t}");
+        t
+    }
+
+    /// Convenience: spawn `fut` and run until it completes, then return its
+    /// output. The simulation stops as soon as the root task finishes, so
+    /// perpetual daemon tasks (schedulers, network pumps) do not prevent
+    /// termination.
+    ///
+    /// # Panics
+    /// Panics if the simulation runs out of events before `fut` completes.
+    pub fn block_on<F>(&mut self, fut: F) -> F::Output
+    where
+        F: Future + 'static,
+        F::Output: 'static,
+    {
+        let handle = self.spawn(fut);
+        let state = handle.state.clone();
+        self.run_core(SimTime::MAX, || state.borrow().result.is_some());
+        handle
+            .try_take()
+            .expect("block_on: root task did not complete (deadlock?)")
+    }
+}
+
+impl SimInner {
+    fn spawn_future<F>(self: &Rc<Self>, fut: F) -> JoinHandle<F::Output>
+    where
+        F: Future + 'static,
+        F::Output: 'static,
+    {
+        let id = TaskId(self.next_task_id.get());
+        self.next_task_id.set(id.0 + 1);
+        let state = Rc::new(RefCell::new(JoinState {
+            result: None,
+            waker: None,
+        }));
+        let state2 = state.clone();
+        let wrapped: BoxedFuture = Box::pin(async move {
+            let out = fut.await;
+            let mut s = state2.borrow_mut();
+            s.result = Some(out);
+            if let Some(w) = s.waker.take() {
+                w.wake();
+            }
+        });
+        self.incoming.borrow_mut().push((id, wrapped));
+        self.ready.queue.lock().unwrap().push_back(id);
+        JoinHandle { state }
+    }
+
+    fn fold_incoming(&self) {
+        let mut incoming = self.incoming.borrow_mut();
+        if incoming.is_empty() {
+            return;
+        }
+        let mut tasks = self.tasks.borrow_mut();
+        for (id, fut) in incoming.drain(..) {
+            tasks.insert(id, fut);
+        }
+    }
+
+    fn poll_task(self: &Rc<Self>, id: TaskId) {
+        // Take the future out so the task may spawn/wake reentrantly.
+        let Some(mut fut) = self.tasks.borrow_mut().remove(&id) else {
+            return; // already completed; spurious wake
+        };
+        let waker = Waker::from(Arc::new(TaskWaker {
+            id,
+            ready: self.ready.clone(),
+        }));
+        let mut cx = Context::from_waker(&waker);
+        self.polls.set(self.polls.get() + 1);
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(()) => {}
+            Poll::Pending => {
+                self.tasks.borrow_mut().insert(id, fut);
+            }
+        }
+    }
+
+    fn peek_timer(&self) -> Option<SimTime> {
+        self.timers.borrow().peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Jump the clock to `at` and fire every timer scheduled for that
+    /// instant (in registration order).
+    fn advance_to(&self, at: SimTime) {
+        debug_assert!(at >= self.now.get(), "time went backwards");
+        self.now.set(at);
+        loop {
+            let seq = {
+                let mut timers = self.timers.borrow_mut();
+                match timers.peek() {
+                    Some(Reverse(e)) if e.at == at => {
+                        let Reverse(e) = timers.pop().unwrap();
+                        e.seq
+                    }
+                    _ => break,
+                }
+            };
+            if let Some(w) = self.timer_wakers.borrow_mut().remove(&seq) {
+                w.wake();
+            }
+        }
+    }
+
+    pub(crate) fn register_timer(&self, at: SimTime, waker: Waker) -> u64 {
+        let seq = self.next_timer_seq.get();
+        self.next_timer_seq.set(seq + 1);
+        self.timers.borrow_mut().push(Reverse(TimerEntry { at, seq }));
+        self.timer_wakers.borrow_mut().insert(seq, waker);
+        seq
+    }
+
+    pub(crate) fn update_timer_waker(&self, seq: u64, waker: Waker) {
+        if let Some(slot) = self.timer_wakers.borrow_mut().get_mut(&seq) {
+            *slot = waker;
+        }
+    }
+
+    pub(crate) fn cancel_timer(&self, seq: u64) {
+        // The heap entry stays and fires as a no-op; dropping the waker is
+        // enough to neutralize it.
+        self.timer_wakers.borrow_mut().remove(&seq);
+    }
+}
+
+struct ContextGuard {
+    prev: Option<Rc<SimInner>>,
+}
+
+impl ContextGuard {
+    fn enter(inner: Rc<SimInner>) -> Self {
+        let prev = CURRENT.with(|c| c.borrow_mut().replace(inner));
+        ContextGuard { prev }
+    }
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| {
+            *c.borrow_mut() = self.prev.take();
+        });
+    }
+}
+
+struct JoinState<T> {
+    result: Option<T>,
+    waker: Option<Waker>,
+}
+
+/// Handle to a spawned task's result.
+///
+/// Awaiting the handle yields the task's output. The handle may also be
+/// inspected after the simulation finishes with [`JoinHandle::try_take`].
+pub struct JoinHandle<T> {
+    state: Rc<RefCell<JoinState<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Take the result if the task has completed.
+    pub fn try_take(&self) -> Option<T> {
+        self.state.borrow_mut().result.take()
+    }
+
+    /// True if the task has completed (and the result not yet taken).
+    pub fn is_finished(&self) -> bool {
+        self.state.borrow().result.is_some()
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = T;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        let mut s = self.state.borrow_mut();
+        if let Some(v) = s.result.take() {
+            Poll::Ready(v)
+        } else {
+            s.waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Free functions usable from inside tasks
+// ---------------------------------------------------------------------------
+
+/// Current simulation time (inside a running simulation).
+pub fn now() -> SimTime {
+    with_current(|s| s.now.get())
+}
+
+/// Spawn a task from inside the simulation.
+pub fn spawn<F>(fut: F) -> JoinHandle<F::Output>
+where
+    F: Future + 'static,
+    F::Output: 'static,
+{
+    with_current(|s| s.spawn_future(fut))
+}
+
+/// Spawn an infrastructure task (scheduler driver, network pump, …) that is
+/// expected to run forever. Daemon tasks are excluded from
+/// [`Simulation::live_tasks`], so [`Simulation::run_to_completion`] does not
+/// treat them as deadlocks.
+pub fn spawn_daemon<F>(fut: F) -> JoinHandle<F::Output>
+where
+    F: Future + 'static,
+    F::Output: 'static,
+{
+    with_current(|s| {
+        let handle = s.spawn_future(fut);
+        let id = TaskId(s.next_task_id.get() - 1);
+        s.daemons.borrow_mut().insert(id);
+        handle
+    })
+}
+
+/// Run a closure with the simulation's shared RNG.
+pub fn with_rng<R>(f: impl FnOnce(&mut SimRng) -> R) -> R {
+    with_current(|s| s.rng.with(f))
+}
+
+/// Fork an independent RNG stream from the simulation's root RNG.
+pub fn fork_rng() -> SimRng {
+    with_current(|s| s.rng.fork())
+}
+
+/// Sleep for a span of simulated physical time.
+pub fn sleep(d: SimDuration) -> Sleep {
+    Sleep {
+        at: None,
+        duration: d,
+        timer_seq: None,
+    }
+}
+
+/// Sleep until an absolute instant.
+pub fn sleep_until(at: SimTime) -> Sleep {
+    Sleep {
+        at: Some(at),
+        duration: SimDuration::ZERO,
+        timer_seq: None,
+    }
+}
+
+/// Future returned by [`sleep`] / [`sleep_until`].
+pub struct Sleep {
+    at: Option<SimTime>,
+    duration: SimDuration,
+    timer_seq: Option<u64>,
+}
+
+impl Future for Sleep {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let at = match self.at {
+            Some(at) => at,
+            None => {
+                let at = now() + self.duration;
+                self.at = Some(at);
+                at
+            }
+        };
+        with_current(|s| {
+            if s.now.get() >= at {
+                if let Some(seq) = self.timer_seq.take() {
+                    s.cancel_timer(seq);
+                }
+                Poll::Ready(())
+            } else {
+                match self.timer_seq {
+                    Some(seq) => s.update_timer_waker(seq, cx.waker().clone()),
+                    None => self.timer_seq = Some(s.register_timer(at, cx.waker().clone())),
+                }
+                Poll::Pending
+            }
+        })
+    }
+}
+
+impl Drop for Sleep {
+    fn drop(&mut self) {
+        if let Some(seq) = self.timer_seq.take() {
+            // Best-effort: outside a context (sim already dropped) there is
+            // nothing to cancel.
+            CURRENT.with(|c| {
+                if let Some(inner) = c.borrow().as_ref() {
+                    inner.cancel_timer(seq);
+                }
+            });
+        }
+    }
+}
+
+/// Yield to other runnable tasks at the same instant.
+pub fn yield_now() -> YieldNow {
+    YieldNow { yielded: false }
+}
+
+/// Future returned by [`yield_now`].
+pub struct YieldNow {
+    yielded: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            Poll::Ready(())
+        } else {
+            self.yielded = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn empty_simulation_finishes_at_zero() {
+        let mut sim = Simulation::new(0);
+        assert_eq!(sim.run(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn sleep_advances_clock() {
+        let mut sim = Simulation::new(0);
+        sim.spawn(async {
+            sleep(SimDuration::from_millis(10)).await;
+            assert_eq!(now().as_millis(), 10);
+            sleep(SimDuration::from_millis(5)).await;
+            assert_eq!(now().as_millis(), 15);
+        });
+        assert_eq!(sim.run_to_completion().as_millis(), 15);
+    }
+
+    #[test]
+    fn tasks_interleave_in_time_order() {
+        let mut sim = Simulation::new(0);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for (name, delay) in [("a", 30u64), ("b", 10), ("c", 20)] {
+            let log = log.clone();
+            sim.spawn(async move {
+                sleep(SimDuration::from_millis(delay)).await;
+                log.borrow_mut().push(name);
+            });
+        }
+        sim.run_to_completion();
+        assert_eq!(*log.borrow(), vec!["b", "c", "a"]);
+    }
+
+    #[test]
+    fn same_instant_fires_in_registration_order() {
+        let mut sim = Simulation::new(0);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..5 {
+            let log = log.clone();
+            sim.spawn(async move {
+                sleep(SimDuration::from_millis(7)).await;
+                log.borrow_mut().push(i);
+            });
+        }
+        sim.run_to_completion();
+        assert_eq!(*log.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn nested_spawn_and_join() {
+        let mut sim = Simulation::new(0);
+        let out = sim.block_on(async {
+            let h = spawn(async {
+                sleep(SimDuration::from_micros(100)).await;
+                41
+            });
+            h.await + 1
+        });
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim = Simulation::new(0);
+        let flag = Rc::new(Cell::new(false));
+        let f2 = flag.clone();
+        sim.spawn(async move {
+            sleep(SimDuration::from_secs(10)).await;
+            f2.set(true);
+        });
+        let t = sim.run_until(SimTime::from_secs_f64(1.0));
+        assert_eq!(t, SimTime::from_secs_f64(1.0));
+        assert!(!flag.get());
+        assert_eq!(sim.live_tasks(), 1);
+        sim.run();
+        assert!(flag.get());
+    }
+
+    #[test]
+    fn yield_now_interleaves() {
+        let mut sim = Simulation::new(0);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for name in ["x", "y"] {
+            let log = log.clone();
+            sim.spawn(async move {
+                for i in 0..3 {
+                    log.borrow_mut().push((name, i));
+                    yield_now().await;
+                }
+            });
+        }
+        sim.run_to_completion();
+        let l = log.borrow();
+        // Alternating because both are re-queued after each yield.
+        assert_eq!(l[0], ("x", 0));
+        assert_eq!(l[1], ("y", 0));
+        assert_eq!(l[2], ("x", 1));
+        assert_eq!(l[3], ("y", 1));
+    }
+
+    #[test]
+    fn deadlocked_task_is_reported() {
+        let mut sim = Simulation::new(0);
+        sim.spawn(async {
+            std::future::pending::<()>().await;
+        });
+        sim.run();
+        assert_eq!(sim.live_tasks(), 1);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        fn trace(seed: u64) -> Vec<u64> {
+            let mut sim = Simulation::new(seed);
+            let log = Rc::new(RefCell::new(Vec::new()));
+            for _ in 0..10 {
+                let log = log.clone();
+                sim.spawn(async move {
+                    let d = with_rng(|r| r.range(1, 1000));
+                    sleep(SimDuration::from_micros(d)).await;
+                    log.borrow_mut().push(now().as_nanos());
+                });
+            }
+            sim.run_to_completion();
+            let v = log.borrow().clone();
+            v
+        }
+        assert_eq!(trace(99), trace(99));
+        assert_ne!(trace(99), trace(100));
+    }
+
+    #[test]
+    fn join_handle_try_take() {
+        let mut sim = Simulation::new(0);
+        let h = sim.spawn(async { "done" });
+        assert!(!h.is_finished());
+        sim.run();
+        assert!(h.is_finished());
+        assert_eq!(h.try_take(), Some("done"));
+        assert_eq!(h.try_take(), None);
+    }
+
+    #[test]
+    fn sleep_zero_completes_immediately() {
+        let mut sim = Simulation::new(0);
+        sim.spawn(async {
+            sleep(SimDuration::ZERO).await;
+            assert_eq!(now(), SimTime::ZERO);
+        });
+        sim.run_to_completion();
+    }
+
+    #[test]
+    fn many_tasks_scale() {
+        let mut sim = Simulation::new(0);
+        let counter = Rc::new(Cell::new(0u32));
+        for i in 0..1000 {
+            let c = counter.clone();
+            sim.spawn(async move {
+                sleep(SimDuration::from_nanos(i)).await;
+                c.set(c.get() + 1);
+            });
+        }
+        sim.run_to_completion();
+        assert_eq!(counter.get(), 1000);
+    }
+}

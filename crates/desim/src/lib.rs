@@ -1,0 +1,45 @@
+//! # mgrid-desim — deterministic discrete-event simulation engine
+//!
+//! The substrate under every MicroGrid-rs component: a single-threaded
+//! async executor whose clock is a simulated **physical** timeline, plus the
+//! channels, synchronization primitives, deterministic RNG, virtual-clock
+//! machinery, and tracing the resource models are built from.
+//!
+//! ## Model
+//!
+//! * Tasks are ordinary Rust futures spawned onto a [`Simulation`].
+//! * Time advances only between polls, jumping to the earliest registered
+//!   timer; ties break by registration order. Runs are therefore
+//!   deterministic: one program + one seed = one trace.
+//! * [`vclock::VirtualClock`] maps physical time to virtual Grid time at a
+//!   configurable simulation rate — the paper's `gettimeofday`
+//!   virtualization (§2.3).
+//!
+//! ## Example
+//!
+//! ```
+//! use mgrid_desim::{Simulation, sleep, now, time::SimDuration};
+//!
+//! let mut sim = Simulation::new(7);
+//! let answer = sim.block_on(async {
+//!     sleep(SimDuration::from_millis(3)).await;
+//!     now().as_millis()
+//! });
+//! assert_eq!(answer, 3);
+//! ```
+
+pub mod channel;
+pub mod executor;
+pub mod rng;
+pub mod sync;
+pub mod time;
+pub mod timeout;
+pub mod trace;
+pub mod vclock;
+
+pub use executor::{
+    fork_rng, now, sleep, sleep_until, spawn, spawn_daemon, with_rng, yield_now, JoinHandle,
+    Simulation, TaskId,
+};
+pub use rng::{SharedRng, SimRng};
+pub use time::{SimDuration, SimTime};

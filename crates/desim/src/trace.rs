@@ -1,0 +1,170 @@
+//! Lightweight event tracing.
+//!
+//! Model components record `(time, category, message)` tuples into a shared
+//! ring buffer when tracing is enabled. Used by tests to assert on event
+//! ordering and by the `repro` harness to dump simulator internals.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use crate::time::SimTime;
+
+/// One trace record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Physical instant of the event.
+    pub at: SimTime,
+    /// Component category, e.g. `"sched"`, `"net"`, `"mpi"`.
+    pub category: &'static str,
+    /// Human-readable payload.
+    pub message: String,
+}
+
+struct TraceState {
+    enabled: bool,
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+/// A shared, bounded trace buffer.
+#[derive(Clone)]
+pub struct Tracer {
+    state: Rc<RefCell<TraceState>>,
+}
+
+impl Tracer {
+    /// Create a tracer holding at most `capacity` events (older events are
+    /// dropped first).
+    pub fn new(capacity: usize) -> Self {
+        Tracer {
+            state: Rc::new(RefCell::new(TraceState {
+                enabled: true,
+                capacity,
+                events: VecDeque::new(),
+                dropped: 0,
+            })),
+        }
+    }
+
+    /// A tracer that records nothing.
+    pub fn disabled() -> Self {
+        let t = Tracer::new(0);
+        t.state.borrow_mut().enabled = false;
+        t
+    }
+
+    /// Whether events are currently recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.state.borrow().enabled
+    }
+
+    /// Enable or disable recording.
+    pub fn set_enabled(&self, on: bool) {
+        self.state.borrow_mut().enabled = on;
+    }
+
+    /// Record an event (no-op when disabled).
+    pub fn record(&self, at: SimTime, category: &'static str, message: impl Into<String>) {
+        let mut s = self.state.borrow_mut();
+        if !s.enabled {
+            return;
+        }
+        if s.events.len() >= s.capacity {
+            s.events.pop_front();
+            s.dropped += 1;
+        }
+        if s.capacity > 0 {
+            s.events.push_back(TraceEvent {
+                at,
+                category,
+                message: message.into(),
+            });
+        }
+    }
+
+    /// Snapshot of the retained events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.state.borrow().events.iter().cloned().collect()
+    }
+
+    /// Events matching a category.
+    pub fn events_in(&self, category: &str) -> Vec<TraceEvent> {
+        self.state
+            .borrow()
+            .events
+            .iter()
+            .filter(|e| e.category == category)
+            .cloned()
+            .collect()
+    }
+
+    /// Number of events evicted due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.state.borrow().dropped
+    }
+
+    /// Discard all retained events.
+    pub fn clear(&self) {
+        let mut s = self.state.borrow_mut();
+        s.events.clear();
+        s.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order() {
+        let t = Tracer::new(10);
+        t.record(SimTime::from_nanos(1), "a", "first");
+        t.record(SimTime::from_nanos(2), "b", "second");
+        let evs = t.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].message, "first");
+        assert_eq!(evs[1].category, "b");
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let t = Tracer::new(3);
+        for i in 0..5u64 {
+            t.record(SimTime::from_nanos(i), "x", format!("{i}"));
+        }
+        let evs = t.events();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(evs[0].message, "2");
+        assert_eq!(t.dropped(), 2);
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let t = Tracer::disabled();
+        t.record(SimTime::ZERO, "x", "ignored");
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn filter_by_category() {
+        let t = Tracer::new(10);
+        t.record(SimTime::ZERO, "net", "p1");
+        t.record(SimTime::ZERO, "sched", "q1");
+        t.record(SimTime::ZERO, "net", "p2");
+        assert_eq!(t.events_in("net").len(), 2);
+        assert_eq!(t.events_in("sched").len(), 1);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let t = Tracer::new(2);
+        t.record(SimTime::ZERO, "x", "a");
+        t.record(SimTime::ZERO, "x", "b");
+        t.record(SimTime::ZERO, "x", "c");
+        t.clear();
+        assert!(t.events().is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Host specifications (serde-serializable configuration data).
+//!
+//! Speeds are in "Mops" — millions of abstract operations per second, the
+//! unit the workload cost models are calibrated in. Only ratios between
+//! virtual and physical speeds matter for the MicroGrid's fidelity
+//! experiments, mirroring the paper's use of MHz/MIPS ratings.
+
+use serde::{Deserialize, Serialize};
+
+/// Specification of a physical (emulation-cluster) host.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct PhysicalHostSpec {
+    /// Host name, e.g. `"csag-226-67.ucsd.edu"`.
+    pub name: String,
+    /// CPU speed in millions of abstract operations per second.
+    pub speed_mops: f64,
+    /// Physical memory in bytes.
+    pub memory_bytes: u64,
+}
+
+impl PhysicalHostSpec {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, speed_mops: f64, memory_bytes: u64) -> Self {
+        PhysicalHostSpec {
+            name: name.into(),
+            speed_mops,
+            memory_bytes,
+        }
+    }
+}
+
+/// Specification of a virtual Grid host (the GIS `CpuSpeed`/`MemorySize`
+/// attributes of Fig 3).
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct VirtualHostSpec {
+    /// Virtual host name, e.g. `"vm.ucsd.edu"`.
+    pub name: String,
+    /// Virtual CPU speed in Mops.
+    pub speed_mops: f64,
+    /// Virtual memory capacity in bytes.
+    pub memory_bytes: u64,
+}
+
+impl VirtualHostSpec {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, speed_mops: f64, memory_bytes: u64) -> Self {
+        VirtualHostSpec {
+            name: name.into(),
+            speed_mops,
+            memory_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_roundtrip_through_json() {
+        let p = PhysicalHostSpec::new("alpha-0", 533.0, 1 << 30);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: PhysicalHostSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+
+        let v = VirtualHostSpec::new("vm.ucsd.edu", 100.0, 128 << 20);
+        let json = serde_json::to_string(&v).unwrap();
+        let back: VirtualHostSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(v, back);
+    }
+}

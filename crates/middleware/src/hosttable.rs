@@ -1,0 +1,181 @@
+//! The virtualization mapping table (paper §2.2.1).
+//!
+//! "Each virtual host is mapped to a physical machine using a mapping
+//! table from virtual IP address to physical IP address. All relevant
+//! library calls are intercepted and mapped from virtual to physical space
+//! using this table."
+//!
+//! In this reproduction an entry binds together the three identities of a
+//! virtual host: its name and virtual IP (what applications see), its
+//! node in the simulated virtual network (where its traffic goes), and its
+//! compute slot on a physical host (where its cycles come from).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use mgrid_hostsim::VirtualHost;
+use mgrid_netsim::NodeId;
+
+use crate::vip::{VipAllocator, VirtIp};
+
+/// One virtual host's identity binding.
+#[derive(Clone)]
+pub struct HostEntry {
+    /// Virtual hostname (what `gethostname` returns inside the host).
+    pub name: String,
+    /// Virtual IP address.
+    pub vip: VirtIp,
+    /// The host's node in the simulated virtual network.
+    pub node: NodeId,
+    /// The host's compute/memory slot.
+    pub vhost: VirtualHost,
+}
+
+#[derive(Default)]
+struct TableInner {
+    by_name: HashMap<String, HostEntry>,
+    by_vip: HashMap<VirtIp, String>,
+    by_node: HashMap<NodeId, String>,
+    order: Vec<String>,
+    vips: VipAllocator,
+}
+
+/// The shared mapping table of one virtual Grid.
+#[derive(Clone, Default)]
+pub struct HostTable {
+    inner: Rc<RefCell<TableInner>>,
+}
+
+impl HostTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        HostTable::default()
+    }
+
+    /// Register a virtual host, allocating its virtual IP.
+    ///
+    /// # Panics
+    /// Panics if the name or network node is already registered.
+    pub fn register(&self, name: impl Into<String>, node: NodeId, vhost: VirtualHost) -> HostEntry {
+        let name = name.into();
+        let mut t = self.inner.borrow_mut();
+        assert!(
+            !t.by_name.contains_key(&name),
+            "virtual host {name:?} already registered"
+        );
+        assert!(
+            !t.by_node.contains_key(&node),
+            "network node {node:?} already bound to {:?}",
+            t.by_node[&node]
+        );
+        let vip = t.vips.allocate();
+        let entry = HostEntry {
+            name: name.clone(),
+            vip,
+            node,
+            vhost,
+        };
+        t.by_name.insert(name.clone(), entry.clone());
+        t.by_vip.insert(vip, name.clone());
+        t.by_node.insert(node, name.clone());
+        t.order.push(name);
+        entry
+    }
+
+    /// Resolve a virtual hostname (the intercepted `gethostbyname`).
+    pub fn lookup(&self, name: &str) -> Option<HostEntry> {
+        self.inner.borrow().by_name.get(name).cloned()
+    }
+
+    /// Reverse-resolve a virtual IP.
+    pub fn lookup_vip(&self, vip: VirtIp) -> Option<HostEntry> {
+        let t = self.inner.borrow();
+        t.by_vip.get(&vip).and_then(|n| t.by_name.get(n)).cloned()
+    }
+
+    /// Find the virtual host bound to a network node (used by receive
+    /// paths to label message sources).
+    pub fn lookup_node(&self, node: NodeId) -> Option<HostEntry> {
+        let t = self.inner.borrow();
+        t.by_node.get(&node).and_then(|n| t.by_name.get(n)).cloned()
+    }
+
+    /// All entries in registration order.
+    pub fn entries(&self) -> Vec<HostEntry> {
+        let t = self.inner.borrow();
+        t.order
+            .iter()
+            .map(|n| t.by_name[n].clone())
+            .collect()
+    }
+
+    /// Number of registered virtual hosts.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().by_name.len()
+    }
+
+    /// True if no hosts are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgrid_desim::{SimRng, Simulation};
+    use mgrid_hostsim::{OsParams, PhysicalHost, PhysicalHostSpec, SchedulerParams};
+
+    fn vhost() -> VirtualHost {
+        PhysicalHost::new(
+            PhysicalHostSpec::new("p", 500.0, 1 << 30),
+            OsParams::default(),
+            SchedulerParams::default(),
+            SimRng::new(1),
+        )
+        .as_direct_virtual()
+    }
+
+    #[test]
+    fn register_and_lookup_all_ways() {
+        let mut sim = Simulation::new(1);
+        sim.spawn(async {
+            let t = HostTable::new();
+            let e = t.register("vm.ucsd.edu", NodeId(0), vhost());
+            assert_eq!(e.vip.to_string(), "1.0.0.1");
+            assert_eq!(t.lookup("vm.ucsd.edu").unwrap().node, NodeId(0));
+            assert_eq!(t.lookup_vip(e.vip).unwrap().name, "vm.ucsd.edu");
+            assert_eq!(t.lookup_node(NodeId(0)).unwrap().vip, e.vip);
+            assert!(t.lookup("other").is_none());
+        });
+        sim.run_to_completion();
+    }
+
+    #[test]
+    fn entries_in_registration_order() {
+        let mut sim = Simulation::new(1);
+        sim.spawn(async {
+            let t = HostTable::new();
+            for (i, name) in ["c", "a", "b"].iter().enumerate() {
+                t.register(*name, NodeId(i), vhost());
+            }
+            let names: Vec<String> = t.entries().into_iter().map(|e| e.name).collect();
+            assert_eq!(names, ["c", "a", "b"]);
+            assert_eq!(t.len(), 3);
+        });
+        sim.run_to_completion();
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn duplicate_name_panics() {
+        let mut sim = Simulation::new(1);
+        sim.spawn(async {
+            let t = HostTable::new();
+            t.register("x", NodeId(0), vhost());
+            t.register("x", NodeId(1), vhost());
+        });
+        sim.run_to_completion();
+    }
+}

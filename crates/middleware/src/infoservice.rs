@@ -1,0 +1,263 @@
+//! A GIS server on the virtual Grid: MDS-style directory queries over
+//! virtual sockets.
+//!
+//! The paper keeps virtual-resource records "in the existing GIS servers —
+//! no additional servers or daemons are needed" (§2.2.2). This module
+//! models those servers: a [`GisServer`] holds a directory and answers
+//! scoped, filtered searches arriving on the well-known MDS port, so
+//! resource discovery traffic flows through the same simulated network as
+//! everything else.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use mgrid_desim::spawn;
+use mgrid_gis::{Directory, Dn, Filter, Record, Scope};
+use mgrid_netsim::Payload;
+
+use crate::process::ProcessCtx;
+use crate::vsocket::SockError;
+
+/// The MDS/LDAP well-known port.
+pub const GIS_PORT: u16 = 2135;
+
+struct Query {
+    base: String,
+    scope: Scope,
+    filter: String,
+    reply_host: String,
+    reply_port: u16,
+}
+
+enum Reply {
+    Records(Vec<Record>),
+    BadQuery(String),
+}
+
+/// A running GIS server on one virtual host.
+pub struct GisServer {
+    directory: Rc<RefCell<Directory>>,
+}
+
+impl GisServer {
+    /// Start serving `directory` on the virtual host of `ctx`.
+    pub fn start(ctx: ProcessCtx, directory: Rc<RefCell<Directory>>) -> GisServer {
+        let dir = directory.clone();
+        mgrid_desim::spawn_daemon(async move {
+            let sock = ctx.bind(GIS_PORT);
+            loop {
+                let Ok(msg) = sock.recv().await else { break };
+                let Some(q) = msg.payload.downcast::<Query>() else {
+                    continue;
+                };
+                // Parse + search cost on the server's (paced) CPU.
+                ctx.compute_mops(0.05).await;
+                let reply = match (Dn::parse(&q.base), Filter::parse(&q.filter)) {
+                    (Ok(base), Ok(filter)) => {
+                        let hits: Vec<Record> = dir
+                            .borrow()
+                            .search(&base, q.scope, &filter)
+                            .into_iter()
+                            .cloned()
+                            .collect();
+                        Reply::Records(hits)
+                    }
+                    (Err(e), _) => Reply::BadQuery(e.to_string()),
+                    (_, Err(e)) => Reply::BadQuery(e.to_string()),
+                };
+                let bytes = match &reply {
+                    // ~200 wire bytes per LDAP entry is a fair stand-in.
+                    Reply::Records(rs) => 64 + rs.len() as u64 * 200,
+                    Reply::BadQuery(_) => 64,
+                };
+                let ctx2 = ctx.clone();
+                let reply_host = q.reply_host.clone();
+                let reply_port = q.reply_port;
+                spawn(async move {
+                    let reply_sock = ctx2.bind(crate::gatekeeper::ephemeral_port_pub());
+                    let _ = reply_sock
+                        .send_to(&reply_host, reply_port, bytes, Payload::new(reply))
+                        .await;
+                });
+            }
+        });
+        GisServer { directory }
+    }
+
+    /// Direct (local) access to the served directory.
+    pub fn directory(&self) -> Rc<RefCell<Directory>> {
+        self.directory.clone()
+    }
+}
+
+/// Errors of remote GIS queries.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GisQueryError {
+    /// Transport failure.
+    Sock(SockError),
+    /// The server rejected the query (bad DN or filter).
+    BadQuery(String),
+}
+
+impl std::fmt::Display for GisQueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GisQueryError::Sock(e) => write!(f, "transport: {e}"),
+            GisQueryError::BadQuery(e) => write!(f, "bad query: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GisQueryError {}
+
+/// Query a remote GIS server: search `base` at `scope` with the LDAP
+/// filter string `filter`.
+pub async fn gis_search(
+    client: &ProcessCtx,
+    server_host: &str,
+    base: &str,
+    scope: Scope,
+    filter: &str,
+) -> Result<Vec<Record>, GisQueryError> {
+    let reply_port = crate::gatekeeper::ephemeral_port_pub();
+    let reply_sock = client.bind(reply_port);
+    let send_sock = client.bind(crate::gatekeeper::ephemeral_port_pub());
+    let query = Query {
+        base: base.to_string(),
+        scope,
+        filter: filter.to_string(),
+        reply_host: client.gethostname().to_string(),
+        reply_port,
+    };
+    send_sock
+        .send_to(
+            server_host,
+            GIS_PORT,
+            96 + base.len() as u64 + filter.len() as u64,
+            Payload::new(query),
+        )
+        .await
+        .map_err(GisQueryError::Sock)?;
+    let msg = reply_sock
+        .recv()
+        .await
+        .map_err(GisQueryError::Sock)?;
+    let reply = msg
+        .payload
+        .downcast::<Reply>()
+        .ok_or(GisQueryError::Sock(SockError::Closed))?;
+    match &*reply {
+        Reply::Records(rs) => Ok(rs.clone()),
+        Reply::BadQuery(e) => Err(GisQueryError::BadQuery(e.clone())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hosttable::HostTable;
+    use mgrid_desim::vclock::VirtualClock;
+    use mgrid_desim::{SimRng, SimTime, Simulation};
+    use mgrid_gis::virtualization::virtual_host_record;
+    use mgrid_hostsim::{OsParams, PhysicalHost, PhysicalHostSpec, SchedulerParams};
+    use mgrid_netsim::{LinkSpec, NetParams, Network, TopologyBuilder};
+
+    fn grid() -> (HostTable, Network, VirtualClock) {
+        let mut b = TopologyBuilder::new();
+        let n0 = b.host("mds.ucsd.edu");
+        let n1 = b.host("client.ucsd.edu");
+        b.link(n0, n1, LinkSpec::fast_ethernet());
+        let clock = VirtualClock::identity();
+        let net = Network::new(b.build(), clock.clone(), NetParams::default());
+        let table = HostTable::new();
+        for (i, (name, node)) in [("mds.ucsd.edu", n0), ("client.ucsd.edu", n1)]
+            .into_iter()
+            .enumerate()
+        {
+            let ph = PhysicalHost::new(
+                PhysicalHostSpec::new(format!("phys{i}"), 500.0, 1 << 30),
+                OsParams::default(),
+                SchedulerParams::default(),
+                SimRng::new(40 + i as u64),
+            );
+            table.register(name, node, ph.as_direct_virtual());
+        }
+        (table, net, clock)
+    }
+
+    fn sample_directory() -> Rc<RefCell<Directory>> {
+        let mut d = Directory::new();
+        let base = Dn::parse("ou=CSAG, o=Grid").unwrap();
+        for (host, cfg) in [("vm1", "A"), ("vm2", "A"), ("vm3", "B")] {
+            d.upsert(virtual_host_record(&base, host, cfg, "phys", 10.0, 1 << 20));
+        }
+        Rc::new(RefCell::new(d))
+    }
+
+    #[test]
+    fn remote_search_returns_matching_records() {
+        let mut sim = Simulation::new(8);
+        sim.spawn(async {
+            let (table, net, clock) = grid();
+            let server_ctx =
+                ProcessCtx::spawn(&table, &net, &clock, "mds.ucsd.edu", "mds").unwrap();
+            GisServer::start(server_ctx, sample_directory());
+            let client =
+                ProcessCtx::spawn(&table, &net, &clock, "client.ucsd.edu", "client").unwrap();
+            let hits = gis_search(
+                &client,
+                "mds.ucsd.edu",
+                "o=Grid",
+                Scope::Subtree,
+                "(&(Is_Virtual_Resource=Yes)(Configuration_Name=A))",
+            )
+            .await
+            .unwrap();
+            assert_eq!(hits.len(), 2);
+            assert!(hits.iter().all(|r| r.get("Configuration_Name") == Some("A")));
+        });
+        sim.run_until(SimTime::from_secs_f64(5.0));
+    }
+
+    #[test]
+    fn bad_filter_is_reported() {
+        let mut sim = Simulation::new(9);
+        sim.spawn(async {
+            let (table, net, clock) = grid();
+            let server_ctx =
+                ProcessCtx::spawn(&table, &net, &clock, "mds.ucsd.edu", "mds").unwrap();
+            GisServer::start(server_ctx, sample_directory());
+            let client =
+                ProcessCtx::spawn(&table, &net, &clock, "client.ucsd.edu", "client").unwrap();
+            let err = gis_search(&client, "mds.ucsd.edu", "o=Grid", Scope::Subtree, "((broken")
+                .await
+                .unwrap_err();
+            assert!(matches!(err, GisQueryError::BadQuery(_)));
+        });
+        sim.run_until(SimTime::from_secs_f64(5.0));
+    }
+
+    #[test]
+    fn empty_result_is_ok() {
+        let mut sim = Simulation::new(10);
+        sim.spawn(async {
+            let (table, net, clock) = grid();
+            let server_ctx =
+                ProcessCtx::spawn(&table, &net, &clock, "mds.ucsd.edu", "mds").unwrap();
+            GisServer::start(server_ctx, sample_directory());
+            let client =
+                ProcessCtx::spawn(&table, &net, &clock, "client.ucsd.edu", "client").unwrap();
+            let hits = gis_search(
+                &client,
+                "mds.ucsd.edu",
+                "o=Grid",
+                Scope::Subtree,
+                "(Configuration_Name=NoSuch)",
+            )
+            .await
+            .unwrap();
+            assert!(hits.is_empty());
+        });
+        sim.run_until(SimTime::from_secs_f64(5.0));
+    }
+}

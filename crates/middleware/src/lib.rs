@@ -1,0 +1,33 @@
+//! # mgrid-middleware — Globus-like middleware for MicroGrid-rs
+//!
+//! The virtualization layer of the paper's §2.2: the mapping table from
+//! virtual identities to physical resources, the intercepted library
+//! surface (hostname, time, sockets), and the Globus-style job-submission
+//! path (gatekeeper → jobmanager → processes) that crosses from the
+//! physical domain into the virtual Grid.
+//!
+//! * [`vip`] — virtual IP addresses and their allocator.
+//! * [`hosttable`] — the virtual→physical mapping table.
+//! * [`process`] — [`ProcessCtx`], the mediated execution surface
+//!   applications see (virtual `gethostname`/`gettimeofday`, compute,
+//!   memory).
+//! * [`vsocket`] — the fully virtualized socket interface.
+//! * [`gatekeeper`] — RSL job specs, gatekeeper and jobmanager daemons,
+//!   client-side submission.
+
+pub mod gatekeeper;
+pub mod hosttable;
+pub mod infoservice;
+pub mod process;
+pub mod vip;
+pub mod vsocket;
+
+pub use gatekeeper::{
+    submit_job, AppFactory, AppFuture, AppInstance, ExecutableRegistry, Gatekeeper, JobSpec,
+    JobStatus, GATEKEEPER_PORT,
+};
+pub use hosttable::{HostEntry, HostTable};
+pub use infoservice::{gis_search, GisQueryError, GisServer, GIS_PORT};
+pub use process::ProcessCtx;
+pub use vip::{VipAllocator, VirtIp};
+pub use vsocket::{SockError, VMessage, VSender, VSocket};

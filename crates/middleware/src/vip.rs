@@ -1,0 +1,104 @@
+//! Virtual IP addresses.
+//!
+//! The MicroGrid gives every virtual host a virtual IP; all name- and
+//! address-bearing library calls are intercepted and translated through a
+//! mapping table (paper §2.2.1). Virtual addresses live in the 1.0.0.0/8
+//! block, matching the paper's examples (`nn=1.11.11.0`).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A virtual IPv4 address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VirtIp(pub u32);
+
+impl VirtIp {
+    /// Compose from dotted-quad octets.
+    pub fn new(a: u8, b: u8, c: u8, d: u8) -> Self {
+        VirtIp(u32::from_be_bytes([a, b, c, d]))
+    }
+
+    /// Dotted-quad octets.
+    pub fn octets(self) -> [u8; 4] {
+        self.0.to_be_bytes()
+    }
+
+    /// Parse `a.b.c.d`.
+    pub fn parse(s: &str) -> Option<Self> {
+        let mut it = s.trim().split('.');
+        let mut oct = [0u8; 4];
+        for slot in &mut oct {
+            *slot = it.next()?.parse().ok()?;
+        }
+        if it.next().is_some() {
+            return None;
+        }
+        Some(VirtIp(u32::from_be_bytes(oct)))
+    }
+}
+
+impl fmt::Display for VirtIp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let [a, b, c, d] = self.octets();
+        write!(f, "{a}.{b}.{c}.{d}")
+    }
+}
+
+impl fmt::Debug for VirtIp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VirtIp({self})")
+    }
+}
+
+/// Sequential allocator of virtual addresses in `1.x.y.z`.
+#[derive(Debug)]
+pub struct VipAllocator {
+    next: u32,
+}
+
+impl Default for VipAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl VipAllocator {
+    /// A fresh allocator starting at `1.0.0.1`.
+    pub fn new() -> Self {
+        VipAllocator { next: 1 }
+    }
+
+    /// Allocate the next address.
+    pub fn allocate(&mut self) -> VirtIp {
+        let ip = VirtIp((1 << 24) | self.next);
+        self.next += 1;
+        assert!(self.next < (1 << 24), "virtual address space exhausted");
+        ip
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        let ip = VirtIp::new(1, 11, 11, 7);
+        assert_eq!(ip.to_string(), "1.11.11.7");
+        assert_eq!(VirtIp::parse("1.11.11.7"), Some(ip));
+        assert_eq!(VirtIp::parse("1.11.11"), None);
+        assert_eq!(VirtIp::parse("1.11.11.7.9"), None);
+        assert_eq!(VirtIp::parse("300.1.1.1"), None);
+    }
+
+    #[test]
+    fn allocator_is_sequential_in_virtual_block() {
+        let mut a = VipAllocator::new();
+        assert_eq!(a.allocate().to_string(), "1.0.0.1");
+        assert_eq!(a.allocate().to_string(), "1.0.0.2");
+        let many: Vec<VirtIp> = (0..300).map(|_| a.allocate()).collect();
+        assert!(many.iter().all(|ip| ip.octets()[0] == 1));
+        assert_eq!(many.last().unwrap().to_string(), "1.0.1.46");
+    }
+}

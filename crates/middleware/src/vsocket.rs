@@ -1,0 +1,295 @@
+//! Virtual sockets: the intercepted socket library.
+//!
+//! "We can run any socket-based application on the virtual Grid as the
+//! MicroGrid completely virtualizes the socket interface" (paper §2.2.1).
+//! Every operation pays the interception overhead on the process's
+//! (possibly paced) virtual CPU, resolves names through the mapping table,
+//! and moves data only across the simulated virtual network.
+
+use mgrid_netsim::{NetError, Payload};
+
+use crate::process::ProcessCtx;
+use crate::vip::VirtIp;
+
+/// Errors of virtual socket operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SockError {
+    /// Destination hostname is not a registered virtual host — the virtual
+    /// Grid boundary: physical-world names do not resolve.
+    UnknownHost(String),
+    /// The network reported an error.
+    Net(NetError),
+    /// The socket (or network) was closed.
+    Closed,
+}
+
+impl std::fmt::Display for SockError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SockError::UnknownHost(h) => write!(f, "unknown virtual host: {h}"),
+            SockError::Net(e) => write!(f, "network error: {e}"),
+            SockError::Closed => write!(f, "socket closed"),
+        }
+    }
+}
+
+impl std::error::Error for SockError {}
+
+/// A message received on a virtual socket.
+#[derive(Clone, Debug)]
+pub struct VMessage {
+    /// Sending virtual host's name.
+    pub src_host: String,
+    /// Sending virtual host's virtual IP.
+    pub src_vip: VirtIp,
+    /// Sender's port.
+    pub src_port: u16,
+    /// Application bytes.
+    pub size_bytes: u64,
+    /// Application payload.
+    pub payload: Payload,
+}
+
+/// A bound virtual socket.
+pub struct VSocket {
+    ctx: ProcessCtx,
+    inbox: mgrid_netsim::Inbox,
+    port: u16,
+}
+
+impl ProcessCtx {
+    /// The intercepted `bind()`: claim a port on this virtual host.
+    ///
+    /// # Panics
+    /// Panics if the port is already bound on this virtual host.
+    pub fn bind(&self, port: u16) -> VSocket {
+        let inbox = self.endpoint().bind(port);
+        VSocket {
+            ctx: self.clone(),
+            inbox,
+            port,
+        }
+    }
+
+    /// The intercepted `gethostbyname()`: resolve a *virtual* hostname.
+    pub fn resolve(&self, host: &str) -> Result<VirtIp, SockError> {
+        self.table()
+            .lookup(host)
+            .map(|e| e.vip)
+            .ok_or_else(|| SockError::UnknownHost(host.to_string()))
+    }
+}
+
+/// The cloneable sending half of a virtual socket (like `dup()` of the fd
+/// for writer tasks). Sends carry the originating socket's port.
+#[derive(Clone)]
+pub struct VSender {
+    ctx: ProcessCtx,
+    src_port: u16,
+}
+
+impl VSender {
+    /// Reliably send `size_bytes` (+payload) to `host:port`; identical
+    /// semantics to [`VSocket::send_to`].
+    pub async fn send_to(
+        &self,
+        host: &str,
+        port: u16,
+        size_bytes: u64,
+        payload: Payload,
+    ) -> Result<(), SockError> {
+        let entry = self
+            .ctx
+            .table()
+            .lookup(host)
+            .ok_or_else(|| SockError::UnknownHost(host.to_string()))?;
+        self.ctx.process().intercept_overhead().await;
+        self.ctx
+            .endpoint()
+            .send(entry.node, port, self.src_port, size_bytes, payload)
+            .await
+            .map_err(SockError::Net)
+    }
+}
+
+impl VSocket {
+    /// The bound port.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// A cloneable sending half bound to this socket's port.
+    pub fn sender(&self) -> VSender {
+        VSender {
+            ctx: self.ctx.clone(),
+            src_port: self.port,
+        }
+    }
+
+    /// Reliably send `size_bytes` (+payload) to `host:port`.
+    ///
+    /// Pays the interception overhead, resolves the virtual name, and
+    /// completes when the message is fully acknowledged.
+    pub async fn send_to(
+        &self,
+        host: &str,
+        port: u16,
+        size_bytes: u64,
+        payload: Payload,
+    ) -> Result<(), SockError> {
+        let entry = self
+            .ctx
+            .table()
+            .lookup(host)
+            .ok_or_else(|| SockError::UnknownHost(host.to_string()))?;
+        self.ctx.process().intercept_overhead().await;
+        self.ctx
+            .endpoint()
+            .send(entry.node, port, self.port, size_bytes, payload)
+            .await
+            .map_err(SockError::Net)
+    }
+
+    /// Receive the next message, parking until one arrives.
+    pub async fn recv(&self) -> Result<VMessage, SockError> {
+        let msg = self.inbox.recv().await.map_err(|_| SockError::Closed)?;
+        self.ctx.process().intercept_overhead().await;
+        let src = self
+            .ctx
+            .table()
+            .lookup_node(msg.src)
+            .expect("message from unmapped node");
+        Ok(VMessage {
+            src_host: src.name,
+            src_vip: src.vip,
+            src_port: msg.src_port,
+            size_bytes: msg.size_bytes,
+            payload: msg.payload,
+        })
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<VMessage> {
+        let msg = self.inbox.try_recv()?;
+        let src = self
+            .ctx
+            .table()
+            .lookup_node(msg.src)
+            .expect("message from unmapped node");
+        Some(VMessage {
+            src_host: src.name,
+            src_vip: src.vip,
+            src_port: msg.src_port,
+            size_bytes: msg.size_bytes,
+            payload: msg.payload,
+        })
+    }
+
+    /// Number of queued messages.
+    pub fn pending(&self) -> usize {
+        self.inbox.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hosttable::HostTable;
+    use mgrid_desim::vclock::VirtualClock;
+    use mgrid_desim::{SimRng, Simulation};
+    use mgrid_hostsim::{OsParams, PhysicalHost, PhysicalHostSpec, SchedulerParams};
+    use mgrid_netsim::{LinkSpec, NetParams, Network, TopologyBuilder};
+
+    /// Two virtual hosts on two physical hosts, 100 Mb Ethernet between.
+    fn grid() -> (HostTable, Network, VirtualClock) {
+        let mut b = TopologyBuilder::new();
+        let n0 = b.host("vm0.ucsd.edu");
+        let n1 = b.host("vm1.ucsd.edu");
+        b.link(n0, n1, LinkSpec::fast_ethernet());
+        let clock = VirtualClock::identity();
+        let net = Network::new(b.build(), clock.clone(), NetParams::default());
+        let table = HostTable::new();
+        for (i, (name, node)) in [("vm0.ucsd.edu", n0), ("vm1.ucsd.edu", n1)]
+            .into_iter()
+            .enumerate()
+        {
+            let ph = PhysicalHost::new(
+                PhysicalHostSpec::new(format!("phys{i}"), 500.0, 1 << 30),
+                OsParams::default(),
+                SchedulerParams::default(),
+                SimRng::new(i as u64 + 1),
+            );
+            table.register(name, node, ph.as_direct_virtual());
+        }
+        (table, net, clock)
+    }
+
+    #[test]
+    fn send_recv_between_virtual_hosts() {
+        let mut sim = Simulation::new(1);
+        sim.spawn(async {
+            let (table, net, clock) = grid();
+            let a = ProcessCtx::spawn(&table, &net, &clock, "vm0.ucsd.edu", "sender").unwrap();
+            let b = ProcessCtx::spawn(&table, &net, &clock, "vm1.ucsd.edu", "receiver").unwrap();
+            assert_eq!(a.gethostname(), "vm0.ucsd.edu");
+            let sock_b = b.bind(7000);
+            let sock_a = a.bind(7001);
+            mgrid_desim::spawn(async move {
+                sock_a
+                    .send_to("vm1.ucsd.edu", 7000, 4096, Payload::new("hello"))
+                    .await
+                    .unwrap();
+            });
+            let msg = sock_b.recv().await.unwrap();
+            assert_eq!(msg.src_host, "vm0.ucsd.edu");
+            assert_eq!(msg.src_port, 7001);
+            assert_eq!(msg.size_bytes, 4096);
+            assert_eq!(*msg.payload.downcast::<&str>().unwrap(), "hello");
+        });
+        sim.run_until(mgrid_desim::SimTime::from_secs_f64(5.0));
+    }
+
+    #[test]
+    fn unknown_host_is_rejected() {
+        let mut sim = Simulation::new(2);
+        sim.spawn(async {
+            let (table, net, clock) = grid();
+            let a = ProcessCtx::spawn(&table, &net, &clock, "vm0.ucsd.edu", "p").unwrap();
+            let sock = a.bind(1);
+            // A physical-world name must not resolve inside the virtual Grid.
+            let err = sock
+                .send_to("real-host.example.com", 1, 10, Payload::empty())
+                .await
+                .unwrap_err();
+            assert!(matches!(err, SockError::UnknownHost(_)));
+            assert!(a.resolve("real-host.example.com").is_err());
+            assert!(a.resolve("vm1.ucsd.edu").is_ok());
+        });
+        sim.run_until(mgrid_desim::SimTime::from_secs_f64(1.0));
+    }
+
+    #[test]
+    fn gettimeofday_returns_virtual_time() {
+        let mut sim = Simulation::new(3);
+        sim.spawn(async {
+            let mut b = TopologyBuilder::new();
+            let n0 = b.host("vm0");
+            let _n1 = b.host("pad");
+            let clock = VirtualClock::new(0.25);
+            let net = Network::new(b.build(), clock.clone(), NetParams::default());
+            let table = HostTable::new();
+            let ph = PhysicalHost::new(
+                PhysicalHostSpec::new("p", 500.0, 1 << 30),
+                OsParams::default(),
+                SchedulerParams::default(),
+                SimRng::new(7),
+            );
+            table.register("vm0", n0, ph.as_direct_virtual());
+            let ctx = ProcessCtx::spawn(&table, &net, &clock, "vm0", "app").unwrap();
+            mgrid_desim::sleep(mgrid_desim::SimDuration::from_secs(8)).await;
+            // 8 physical seconds at rate 0.25 = 2 virtual seconds.
+            assert_eq!(ctx.gettimeofday().as_secs_f64(), 2.0);
+        });
+        sim.run_until(mgrid_desim::SimTime::from_secs_f64(20.0));
+    }
+}

@@ -1,0 +1,312 @@
+//! `mpirun`: start one process per virtual host and run an SPMD body.
+
+use std::future::Future;
+use std::rc::Rc;
+
+use mgrid_desim::spawn;
+use mgrid_desim::vclock::VirtualClock;
+use mgrid_middleware::{HostTable, ProcessCtx};
+use mgrid_netsim::Network;
+
+use crate::comm::{Comm, MpiParams};
+
+/// Launch an MPI world: rank `r` runs on `hosts[r]` (hosts may repeat for
+/// multi-process-per-host placements, provided the memory cap fits).
+///
+/// All ranks' sockets are bound before any body starts, so no traffic is
+/// lost to startup races. Returns the bodies' outputs in rank order; every
+/// rank's process is terminated afterwards.
+///
+/// # Panics
+/// Panics if a host is unknown or a process cannot be started (memory).
+pub async fn mpirun<T, F, Fut>(
+    table: &HostTable,
+    net: &Network,
+    clock: &VirtualClock,
+    hosts: &[String],
+    params: MpiParams,
+    body: F,
+) -> Vec<T>
+where
+    T: 'static,
+    F: Fn(Comm) -> Fut,
+    Fut: Future<Output = T> + 'static,
+{
+    let hosts_rc = Rc::new(hosts.to_vec());
+    let mut comms = Vec::with_capacity(hosts.len());
+    for (rank, host) in hosts.iter().enumerate() {
+        let ctx = ProcessCtx::spawn(table, net, clock, host, format!("mpi-rank{rank}"))
+            .unwrap_or_else(|e| panic!("cannot start rank {rank} on {host}: {e}"));
+        comms.push(Comm::create(ctx, rank, hosts_rc.clone(), params.clone()));
+    }
+    let mut handles = Vec::with_capacity(comms.len());
+    for comm in &comms {
+        let comm2 = comm.clone();
+        let fut = body(comm2);
+        handles.push(spawn(fut));
+    }
+    let mut outputs = Vec::with_capacity(handles.len());
+    for h in handles {
+        outputs.push(h.await);
+    }
+    for comm in &comms {
+        comm.flush().await;
+        comm.ctx().exit();
+    }
+    outputs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::MpiData;
+    use mgrid_desim::{SimRng, SimTime, Simulation};
+    use mgrid_hostsim::{OsParams, PhysicalHost, PhysicalHostSpec, SchedulerParams};
+    use mgrid_netsim::{LinkSpec, NetParams, NodeId, TopologyBuilder};
+
+    /// A 4-host switched-Ethernet virtual grid on 4 direct physical hosts.
+    fn grid4() -> (HostTable, Network, VirtualClock, Vec<String>) {
+        let mut b = TopologyBuilder::new();
+        let sw = b.router("switch");
+        let mut nodes: Vec<(String, NodeId)> = Vec::new();
+        for i in 0..4 {
+            let name = format!("node{i}.cluster");
+            let n = b.host(&name);
+            b.link(n, sw, LinkSpec::fast_ethernet());
+            nodes.push((name, n));
+        }
+        let clock = VirtualClock::identity();
+        let net = Network::new(b.build(), clock.clone(), NetParams::default());
+        let table = HostTable::new();
+        for (i, (name, node)) in nodes.iter().enumerate() {
+            let ph = PhysicalHost::new(
+                PhysicalHostSpec::new(format!("phys{i}"), 533.0, 1 << 30),
+                OsParams::default(),
+                SchedulerParams::default(),
+                SimRng::new(100 + i as u64),
+            );
+            table.register(name, *node, ph.as_direct_virtual());
+        }
+        let names = nodes.into_iter().map(|(n, _)| n).collect();
+        (table, net, clock, names)
+    }
+
+    fn run_world<T: 'static>(
+        seed: u64,
+        body: impl Fn(Comm) -> std::pin::Pin<Box<dyn Future<Output = T>>> + 'static,
+    ) -> Vec<T> {
+        let mut sim = Simulation::new(seed);
+        let out = sim.block_on(async move {
+            let (table, net, clock, hosts) = grid4();
+            mpirun(&table, &net, &clock, &hosts, MpiParams::default(), body).await
+        });
+        out
+    }
+
+    #[test]
+    fn ranks_and_size() {
+        let out = run_world(1, |comm| {
+            Box::pin(async move { (comm.rank(), comm.size()) })
+        });
+        assert_eq!(out, vec![(0, 4), (1, 4), (2, 4), (3, 4)]);
+    }
+
+    #[test]
+    fn ring_send_recv() {
+        let out = run_world(2, |comm| {
+            Box::pin(async move {
+                let n = comm.size();
+                let next = (comm.rank() + 1) % n;
+                let prev = (comm.rank() + n - 1) % n;
+                let msg = comm
+                    .sendrecv(next, 7, MpiData::typed(8, comm.rank() as u64), prev, 7)
+                    .await
+                    .unwrap();
+                *msg.data.downcast::<u64>().unwrap()
+            })
+        });
+        assert_eq!(out, vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn nonovertaking_same_tag() {
+        let out = run_world(3, |comm| {
+            Box::pin(async move {
+                match comm.rank() {
+                    0 => {
+                        // A big (rendezvous) then a small (eager) message
+                        // with the same tag: receiver must see them in
+                        // send order.
+                        comm.send(1, 5, MpiData::typed(100_000, 1u32)).await.unwrap();
+                        comm.send(1, 5, MpiData::typed(16, 2u32)).await.unwrap();
+                        vec![]
+                    }
+                    1 => {
+                        let a = comm.recv(0, 5).await.unwrap();
+                        let b = comm.recv(0, 5).await.unwrap();
+                        vec![
+                            *a.data.downcast::<u32>().unwrap(),
+                            *b.data.downcast::<u32>().unwrap(),
+                        ]
+                    }
+                    _ => vec![],
+                }
+            })
+        });
+        assert_eq!(out[1], vec![1, 2]);
+    }
+
+    #[test]
+    fn eager_overlapping_sends_preserve_order() {
+        let out = run_world(4, |comm| {
+            Box::pin(async move {
+                match comm.rank() {
+                    0 => {
+                        // isend a large eager message, then a tiny one:
+                        // the tiny one would win the race without seqs.
+                        let h1 = comm.isend(1, 9, MpiData::typed(16_000, 10u32));
+                        let h2 = comm.isend(1, 9, MpiData::typed(8, 20u32));
+                        h1.await.unwrap();
+                        h2.await.unwrap();
+                        0
+                    }
+                    1 => {
+                        let a = comm.recv(0, 9).await.unwrap();
+                        *a.data.downcast::<u32>().unwrap()
+                    }
+                    _ => 0,
+                }
+            })
+        });
+        assert_eq!(out[1], 10);
+    }
+
+    #[test]
+    fn barrier_aligns_ranks() {
+        let out = run_world(5, |comm| {
+            Box::pin(async move {
+                // Stagger arrival; everyone leaves at (or after) the
+                // slowest arrival.
+                let d = mgrid_desim::SimDuration::from_millis(10 * (comm.rank() as u64 + 1));
+                mgrid_desim::sleep(d).await;
+                comm.barrier().await.unwrap();
+                mgrid_desim::now()
+            })
+        });
+        let max_arrival = SimTime::from_nanos(40_000_000);
+        for t in out {
+            assert!(t >= max_arrival, "left barrier at {t}");
+            assert!(
+                t < max_arrival + mgrid_desim::SimDuration::from_millis(5),
+                "barrier too slow: {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn bcast_from_each_root() {
+        for root in 0..4usize {
+            let out = run_world(6 + root as u64, move |comm| {
+                Box::pin(async move {
+                    let data = if comm.rank() == root {
+                        Some(MpiData::typed(64, format!("from-{root}")))
+                    } else {
+                        None
+                    };
+                    let got = comm.bcast(root, data).await.unwrap();
+                    got.downcast::<String>().unwrap().as_ref().clone()
+                })
+            });
+            assert!(out.iter().all(|s| s == &format!("from-{root}")));
+        }
+    }
+
+    #[test]
+    fn allreduce_sums_vectors() {
+        let out = run_world(10, |comm| {
+            Box::pin(async move {
+                let v = vec![comm.rank() as f64, 1.0];
+                comm.allreduce(v, 16, |a, b| {
+                    a.iter().zip(b).map(|(x, y)| x + y).collect::<Vec<f64>>()
+                })
+                .await
+                .unwrap()
+            })
+        });
+        for v in out {
+            assert_eq!(v, vec![6.0, 4.0]); // 0+1+2+3, 1*4
+        }
+    }
+
+    #[test]
+    fn reduce_max_at_root() {
+        let out = run_world(11, |comm| {
+            Box::pin(async move {
+                comm.reduce(2, (comm.rank() as u64 * 7) % 5, 8, |a, b| *a.max(b))
+                    .await
+                    .unwrap()
+            })
+        });
+        assert_eq!(out[2], Some(4)); // values 0,2,4,1
+        assert_eq!(out[0], None);
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let out = run_world(12, |comm| {
+            Box::pin(async move {
+                comm.gather(0, comm.rank() as u32 * 100, 4).await.unwrap()
+            })
+        });
+        assert_eq!(out[0], Some(vec![0, 100, 200, 300]));
+        assert_eq!(out[1], None);
+    }
+
+    #[test]
+    fn alltoall_exchanges_chunks() {
+        let out = run_world(13, |comm| {
+            Box::pin(async move {
+                let chunks: Vec<(u32, u64)> = (0..comm.size())
+                    .map(|d| ((comm.rank() * 10 + d) as u32, 4))
+                    .collect();
+                comm.alltoall(chunks).await.unwrap()
+            })
+        });
+        // out[r][s] = s*10 + r
+        for (r, row) in out.iter().enumerate() {
+            for (s, v) in row.iter().enumerate() {
+                assert_eq!(*v, (s * 10 + r) as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn ping_pong_latency_sane() {
+        let out = run_world(14, |comm| {
+            Box::pin(async move {
+                if comm.rank() == 0 {
+                    let t0 = mgrid_desim::now();
+                    let iters = 10;
+                    for _ in 0..iters {
+                        comm.send(1, 1, MpiData::bytes_only(4)).await.unwrap();
+                        comm.recv(1, 2).await.unwrap();
+                    }
+                    let rtt = (mgrid_desim::now() - t0).as_secs_f64() / iters as f64;
+                    Some(rtt)
+                } else if comm.rank() == 1 {
+                    for _ in 0..10 {
+                        comm.recv(0, 1).await.unwrap();
+                        comm.send(0, 2, MpiData::bytes_only(4)).await.unwrap();
+                    }
+                    None
+                } else {
+                    None
+                }
+            })
+        });
+        let rtt = out[0].unwrap();
+        // Two switched-Ethernet hops each way (~50us prop per link) plus
+        // software overheads: plausible LAN RTT is 200us..1ms.
+        assert!(rtt > 150e-6 && rtt < 1.5e-3, "rtt {rtt}");
+    }
+}

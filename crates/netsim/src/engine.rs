@@ -1,0 +1,567 @@
+//! The online network simulator: links with FIFO queues, store-and-forward
+//! routing, and live delivery of application traffic.
+//!
+//! Mirrors the role VINT/NSE plays in the MicroGrid (§2.4.2): the
+//! simulator is attached to the virtual communication infrastructure and
+//! "mediates all communication … delivering the communications to each
+//! destination according to the network topology at the expected time."
+//!
+//! Every directed link has a bounded drop-tail byte queue and a pump task:
+//! serialization occupies the link for `wire_bytes * 8 / bandwidth`, then
+//! propagation is pipelined. All durations are *virtual network time*,
+//! converted to engine (physical) time through the network's
+//! [`VirtualClock`] — this is what lets the same network run under any
+//! emulation rate (Fig 15).
+
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+use mgrid_desim::channel::{channel, Receiver, Sender};
+use mgrid_desim::sync::Notify;
+use mgrid_desim::time::SimDuration;
+use mgrid_desim::vclock::VirtualClock;
+use mgrid_desim::{spawn, spawn_daemon};
+
+use crate::packet::{Packet, PacketKind, Payload, TransferId};
+use crate::topology::{LinkId, NodeId, NodeKind, Topology};
+
+/// Protocol parameters of the simulated transport.
+#[derive(Clone, Debug)]
+pub struct NetParams {
+    /// Application bytes per data segment (TCP MSS-like).
+    pub mtu: u64,
+    /// Header overhead added to each data segment on the wire.
+    pub header_bytes: u64,
+    /// Wire size of an acknowledgment packet.
+    pub ack_wire_bytes: u64,
+    /// Flow-control window in bytes (in-flight unacknowledged data).
+    pub window_bytes: u64,
+    /// Lower bound on the retransmission timeout.
+    pub min_rto: SimDuration,
+    /// Retransmission timeout before any RTT sample exists.
+    pub initial_rto: SimDuration,
+    /// Latency of a loopback delivery (same-host messaging).
+    pub loopback_delay: SimDuration,
+}
+
+impl Default for NetParams {
+    fn default() -> Self {
+        NetParams {
+            mtu: 1460,
+            header_bytes: 58,
+            ack_wire_bytes: 64,
+            window_bytes: 64 * 1024,
+            min_rto: SimDuration::from_millis(10),
+            initial_rto: SimDuration::from_millis(300),
+            loopback_delay: SimDuration::from_micros(15),
+        }
+    }
+}
+
+/// Counters of one directed link.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Packets transmitted.
+    pub tx_packets: u64,
+    /// Wire bytes transmitted.
+    pub tx_bytes: u64,
+    /// Packets dropped at the full queue.
+    pub drops: u64,
+    /// High-water mark of queued bytes.
+    pub peak_queue_bytes: u64,
+}
+
+/// Global counters of the network.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NetworkStats {
+    /// Reliable messages fully delivered to an inbox.
+    pub messages_delivered: u64,
+    /// Datagrams delivered.
+    pub datagrams_delivered: u64,
+    /// Go-back-N retransmission rounds across all transfers.
+    pub retransmit_rounds: u64,
+    /// Packets (of any kind) dropped at full queues.
+    pub packet_drops: u64,
+    /// Messages/datagrams that arrived for an unbound port.
+    pub unbound_drops: u64,
+}
+
+/// A message delivered to a host inbox.
+#[derive(Clone, Debug)]
+pub struct Message {
+    /// Sending host.
+    pub src: NodeId,
+    /// Sender's port.
+    pub src_port: u16,
+    /// Application bytes.
+    pub size_bytes: u64,
+    /// Application payload.
+    pub payload: Payload,
+}
+
+/// Errors surfaced by the transport.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetError {
+    /// No route exists from source to destination.
+    Unreachable,
+    /// The network was torn down mid-operation.
+    Closed,
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Unreachable => write!(f, "destination unreachable"),
+            NetError::Closed => write!(f, "network closed"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+struct LinkState {
+    queue: RefCell<VecDeque<Packet>>,
+    queued_bytes: Cell<u64>,
+    notify: Notify,
+    stats: RefCell<LinkStats>,
+}
+
+struct RxTransfer {
+    expected: u32,
+    total: u32,
+    message_bytes: u64,
+    src: NodeId,
+    src_port: u16,
+    port: u16,
+    payload: Option<Payload>,
+}
+
+pub(crate) struct NetInner {
+    pub(crate) topo: Topology,
+    pub(crate) params: NetParams,
+    clock: VirtualClock,
+    links: Vec<LinkState>,
+    inboxes: RefCell<HashMap<(NodeId, u16), Sender<Message>>>,
+    rx_transfers: RefCell<HashMap<TransferId, RxTransfer>>,
+    completed: RefCell<std::collections::HashSet<TransferId>>,
+    pub(crate) ack_waiters: RefCell<HashMap<TransferId, Sender<u32>>>,
+    pub(crate) next_transfer: Cell<u64>,
+    pub(crate) stats: RefCell<NetworkStats>,
+}
+
+/// The simulated network. Must be created inside a running simulation (its
+/// link pump daemons are spawned at construction).
+#[derive(Clone)]
+pub struct Network {
+    pub(crate) inner: Rc<NetInner>,
+}
+
+impl Network {
+    /// Bring up a network over `topo`, with all time conversions going
+    /// through `clock` (use [`VirtualClock::identity`] for a physical-time
+    /// network).
+    pub fn new(topo: Topology, clock: VirtualClock, params: NetParams) -> Self {
+        let links = topo
+            .links
+            .iter()
+            .map(|_| LinkState {
+                queue: RefCell::new(VecDeque::new()),
+                queued_bytes: Cell::new(0),
+                notify: Notify::new(),
+                stats: RefCell::new(LinkStats::default()),
+            })
+            .collect();
+        let net = Network {
+            inner: Rc::new(NetInner {
+                topo,
+                params,
+                clock,
+                links,
+                inboxes: RefCell::new(HashMap::new()),
+                rx_transfers: RefCell::new(HashMap::new()),
+                completed: RefCell::new(std::collections::HashSet::new()),
+                ack_waiters: RefCell::new(HashMap::new()),
+                next_transfer: Cell::new(0),
+                stats: RefCell::new(NetworkStats::default()),
+            }),
+        };
+        for lid in 0..net.inner.topo.links.len() {
+            let n = net.clone();
+            spawn_daemon(async move { n.pump(LinkId(lid)).await });
+        }
+        net
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.inner.topo
+    }
+
+    /// The network's virtual clock.
+    pub fn clock(&self) -> &VirtualClock {
+        &self.inner.clock
+    }
+
+    /// Transport parameters.
+    pub fn params(&self) -> &NetParams {
+        &self.inner.params
+    }
+
+    /// Counters of one directed link.
+    pub fn link_stats(&self, id: LinkId) -> LinkStats {
+        self.inner.links[id.0].stats.borrow().clone()
+    }
+
+    /// Global counters.
+    pub fn stats(&self) -> NetworkStats {
+        self.inner.stats.borrow().clone()
+    }
+
+    /// Obtain the NIC endpoint of a host node.
+    ///
+    /// # Panics
+    /// Panics if `node` is a router.
+    pub fn endpoint(&self, node: NodeId) -> Endpoint {
+        assert_eq!(
+            self.inner.topo.node_kind(node),
+            NodeKind::Host,
+            "endpoint on non-host {:?}",
+            node
+        );
+        Endpoint {
+            net: self.clone(),
+            node,
+        }
+    }
+
+    /// Enqueue a packet on a directed link, dropping it if the queue is
+    /// full.
+    fn enqueue(&self, lid: LinkId, pkt: Packet) {
+        let link = &self.inner.links[lid.0];
+        let cap = self.inner.topo.links[lid.0].spec.queue_bytes;
+        let queued = link.queued_bytes.get();
+        if queued + pkt.wire_bytes > cap {
+            link.stats.borrow_mut().drops += 1;
+            self.inner.stats.borrow_mut().packet_drops += 1;
+            return;
+        }
+        link.queued_bytes.set(queued + pkt.wire_bytes);
+        let peak = link.queued_bytes.get();
+        {
+            let mut st = link.stats.borrow_mut();
+            st.peak_queue_bytes = st.peak_queue_bytes.max(peak);
+        }
+        link.queue.borrow_mut().push_back(pkt);
+        link.notify.notify_one();
+    }
+
+    /// Inject a packet at `node`, routing it toward its destination.
+    pub(crate) fn send_from(&self, node: NodeId, pkt: Packet) {
+        if node == pkt.dst {
+            // Loopback: skip the wire, keep a small stack latency.
+            let net = self.clone();
+            let d = self.inner.clock.to_physical(self.inner.params.loopback_delay);
+            spawn(async move {
+                mgrid_desim::sleep(d).await;
+                net.handle_rx(pkt);
+            });
+            return;
+        }
+        match self.inner.topo.next_hop(node, pkt.dst) {
+            Some(lid) => self.enqueue(lid, pkt),
+            None => {
+                // Unroutable mid-flight (should be prevented at send time).
+                self.inner.stats.borrow_mut().packet_drops += 1;
+            }
+        }
+    }
+
+    /// One link's transmit loop: serialize, then propagate asynchronously.
+    async fn pump(self, lid: LinkId) {
+        let delay = self.inner.topo.links[lid.0].spec.delay;
+        let to_node = self.inner.topo.links[lid.0].to;
+        loop {
+            let pkt = {
+                let link = &self.inner.links[lid.0];
+                let pkt = link.queue.borrow_mut().pop_front();
+                match pkt {
+                    Some(p) => {
+                        link.queued_bytes.set(link.queued_bytes.get() - p.wire_bytes);
+                        p
+                    }
+                    None => {
+                        link.notify.notified().await;
+                        continue;
+                    }
+                }
+            };
+            let tx = self.inner.topo.links[lid.0].spec.tx_time(pkt.wire_bytes);
+            mgrid_desim::sleep(self.inner.clock.to_physical(tx)).await;
+            {
+                let mut st = self.inner.links[lid.0].stats.borrow_mut();
+                st.tx_packets += 1;
+                st.tx_bytes += pkt.wire_bytes;
+            }
+            let net = self.clone();
+            let prop = self.inner.clock.to_physical(delay);
+            spawn(async move {
+                mgrid_desim::sleep(prop).await;
+                net.deliver(to_node, pkt);
+            });
+        }
+    }
+
+    /// A packet arrives at `node`: deliver locally or forward.
+    fn deliver(&self, node: NodeId, pkt: Packet) {
+        if node == pkt.dst {
+            self.handle_rx(pkt);
+        } else {
+            self.send_from(node, pkt);
+        }
+    }
+
+    /// Terminal packet handling at the destination host.
+    fn handle_rx(&self, pkt: Packet) {
+        match pkt.kind {
+            PacketKind::Data {
+                transfer,
+                seq,
+                total,
+                message_bytes,
+                port,
+                src_port,
+                payload,
+            } => {
+                let next_expected = if self.inner.completed.borrow().contains(&transfer) {
+                    // A retransmit after completion (its final ack was
+                    // lost): re-ack without re-delivering.
+                    total
+                } else {
+                    let mut transfers = self.inner.rx_transfers.borrow_mut();
+                    let rx = transfers.entry(transfer).or_insert_with(|| RxTransfer {
+                        expected: 0,
+                        total,
+                        message_bytes,
+                        src: pkt.src,
+                        src_port,
+                        port,
+                        payload: None,
+                    });
+                    if seq == rx.expected {
+                        rx.expected += 1;
+                        if let Some(p) = payload {
+                            rx.payload = Some(p);
+                        }
+                        if rx.expected == rx.total {
+                            let rx = transfers.remove(&transfer).expect("present");
+                            drop(transfers);
+                            self.inner.completed.borrow_mut().insert(transfer);
+                            self.complete_message(pkt.dst, rx);
+                            total
+                        } else {
+                            rx.expected
+                        }
+                    } else {
+                        // Out-of-order segment: discard (go-back-N) and
+                        // re-ack the unchanged expectation.
+                        rx.expected
+                    }
+                };
+                let ack = Packet {
+                    src: pkt.dst,
+                    dst: pkt.src,
+                    wire_bytes: self.inner.params.ack_wire_bytes,
+                    kind: PacketKind::Ack {
+                        transfer,
+                        next_expected,
+                    },
+                };
+                self.send_from(ack.src, ack);
+            }
+            PacketKind::Ack {
+                transfer,
+                next_expected,
+            } => {
+                let waiters = self.inner.ack_waiters.borrow();
+                if let Some(tx) = waiters.get(&transfer) {
+                    let _ = tx.send_now(next_expected);
+                }
+            }
+            PacketKind::Datagram {
+                port,
+                src_port,
+                message_bytes,
+                payload,
+            } => {
+                let inboxes = self.inner.inboxes.borrow();
+                match inboxes.get(&(pkt.dst, port)) {
+                    Some(tx) => {
+                        let delivered = tx
+                            .send_now(Message {
+                                src: pkt.src,
+                                src_port,
+                                size_bytes: message_bytes,
+                                payload,
+                            })
+                            .is_ok();
+                        drop(inboxes);
+                        let mut st = self.inner.stats.borrow_mut();
+                        if delivered {
+                            st.datagrams_delivered += 1;
+                        } else {
+                            st.unbound_drops += 1;
+                        }
+                    }
+                    None => {
+                        drop(inboxes);
+                        self.inner.stats.borrow_mut().unbound_drops += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn complete_message(&self, dst: NodeId, rx: RxTransfer) {
+        let inboxes = self.inner.inboxes.borrow();
+        let delivered = inboxes.get(&(dst, rx.port)).and_then(|tx| {
+            tx.send_now(Message {
+                src: rx.src,
+                src_port: rx.src_port,
+                size_bytes: rx.message_bytes,
+                payload: rx.payload.unwrap_or_else(Payload::empty),
+            })
+            .ok()
+        });
+        drop(inboxes);
+        let mut st = self.inner.stats.borrow_mut();
+        if delivered.is_some() {
+            st.messages_delivered += 1;
+        } else {
+            st.unbound_drops += 1;
+        }
+    }
+
+    pub(crate) fn bind(&self, node: NodeId, port: u16) -> Receiver<Message> {
+        let (tx, rx) = channel();
+        let prev = self.inner.inboxes.borrow_mut().insert((node, port), tx);
+        assert!(
+            prev.is_none(),
+            "port {port} already bound on {:?}",
+            self.inner.topo.node_name(node)
+        );
+        rx
+    }
+
+    pub(crate) fn unbind(&self, node: NodeId, port: u16) {
+        self.inner.inboxes.borrow_mut().remove(&(node, port));
+    }
+}
+
+/// A host's NIC: bind ports and send traffic. Created by
+/// [`Network::endpoint`].
+#[derive(Clone)]
+pub struct Endpoint {
+    pub(crate) net: Network,
+    pub(crate) node: NodeId,
+}
+
+impl Endpoint {
+    /// The host this endpoint belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The network this endpoint is attached to.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Bind a port, returning its inbox. The port is released when the
+    /// inbox is dropped.
+    ///
+    /// # Panics
+    /// Panics if the port is already bound on this host.
+    pub fn bind(&self, port: u16) -> Inbox {
+        let rx = self.net.bind(self.node, port);
+        Inbox {
+            net: self.net.clone(),
+            node: self.node,
+            port,
+            rx,
+        }
+    }
+
+    /// Fire-and-forget datagram (dropped silently on congestion or if the
+    /// destination port is unbound).
+    ///
+    /// # Panics
+    /// Panics if the datagram exceeds one MTU.
+    pub fn send_datagram(
+        &self,
+        dst: NodeId,
+        port: u16,
+        src_port: u16,
+        size_bytes: u64,
+        payload: Payload,
+    ) {
+        assert!(
+            size_bytes <= self.net.inner.params.mtu,
+            "datagram of {size_bytes} bytes exceeds the {} byte MTU",
+            self.net.inner.params.mtu
+        );
+        let pkt = Packet {
+            src: self.node,
+            dst,
+            wire_bytes: size_bytes + self.net.inner.params.header_bytes,
+            kind: PacketKind::Datagram {
+                port,
+                src_port,
+                message_bytes: size_bytes,
+                payload,
+            },
+        };
+        self.net.send_from(self.node, pkt);
+    }
+}
+
+/// A bound port's receive queue.
+pub struct Inbox {
+    net: Network,
+    node: NodeId,
+    port: u16,
+    rx: Receiver<Message>,
+}
+
+impl Inbox {
+    /// Receive the next message, parking until one arrives.
+    pub async fn recv(&self) -> Result<Message, NetError> {
+        self.rx.recv().await.map_err(|_| NetError::Closed)
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Message> {
+        self.rx.try_recv()
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self) -> usize {
+        self.rx.len()
+    }
+
+    /// True if no messages are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.rx.is_empty()
+    }
+
+    /// The bound port number.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+}
+
+impl Drop for Inbox {
+    fn drop(&mut self) {
+        self.net.unbind(self.node, self.port);
+    }
+}

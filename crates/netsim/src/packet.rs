@@ -1,0 +1,114 @@
+//! Packets: the unit of traffic in the online network simulator.
+
+use std::any::Any;
+use std::rc::Rc;
+
+use crate::topology::NodeId;
+
+/// Unique identifier of a reliable transfer (one message in flight).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct TransferId(pub u64);
+
+/// Opaque application payload carried by the final data packet of a
+/// transfer (zero-copy: the simulator moves a reference, not bytes).
+#[derive(Clone)]
+pub struct Payload(pub Rc<dyn Any>);
+
+impl Payload {
+    /// Wrap a value.
+    pub fn new<T: Any>(value: T) -> Self {
+        Payload(Rc::new(value))
+    }
+
+    /// An empty payload (pure byte-count traffic).
+    pub fn empty() -> Self {
+        Payload(Rc::new(()))
+    }
+
+    /// Downcast to the concrete payload type.
+    pub fn downcast<T: Any>(&self) -> Option<Rc<T>> {
+        self.0.clone().downcast::<T>().ok()
+    }
+}
+
+impl std::fmt::Debug for Payload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Payload(..)")
+    }
+}
+
+/// What a packet is.
+#[derive(Clone, Debug)]
+pub enum PacketKind {
+    /// A data segment of a reliable transfer.
+    Data {
+        /// Transfer this segment belongs to.
+        transfer: TransferId,
+        /// Segment index, 0-based.
+        seq: u32,
+        /// Total number of segments in the transfer.
+        total: u32,
+        /// Total message bytes (payload size at the application level).
+        message_bytes: u64,
+        /// Destination port of the message.
+        port: u16,
+        /// Source port of the message.
+        src_port: u16,
+        /// Application payload; present only on the last segment.
+        payload: Option<Payload>,
+    },
+    /// Cumulative acknowledgment of a reliable transfer.
+    Ack {
+        /// Transfer being acknowledged.
+        transfer: TransferId,
+        /// Next segment the receiver expects (all below are received).
+        next_expected: u32,
+    },
+    /// An unreliable datagram (fits in one packet or is dropped whole).
+    Datagram {
+        /// Destination port.
+        port: u16,
+        /// Source port.
+        src_port: u16,
+        /// Application bytes.
+        message_bytes: u64,
+        /// Application payload.
+        payload: Payload,
+    },
+}
+
+/// A packet traversing the simulated network.
+#[derive(Clone, Debug)]
+pub struct Packet {
+    /// Originating host.
+    pub src: NodeId,
+    /// Destination host.
+    pub dst: NodeId,
+    /// On-wire size in bytes, including protocol headers.
+    pub wire_bytes: u64,
+    /// Semantic content.
+    pub kind: PacketKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_downcast_roundtrip() {
+        let p = Payload::new(vec![1u32, 2, 3]);
+        let v = p.downcast::<Vec<u32>>().unwrap();
+        assert_eq!(*v, vec![1, 2, 3]);
+        assert!(p.downcast::<String>().is_none());
+    }
+
+    #[test]
+    fn payload_clone_shares() {
+        let p = Payload::new(String::from("shared"));
+        let q = p.clone();
+        assert!(Rc::ptr_eq(
+            &p.downcast::<String>().unwrap(),
+            &q.downcast::<String>().unwrap()
+        ));
+    }
+}

@@ -1,0 +1,366 @@
+//! Network topology: nodes, links, and static shortest-path routing.
+//!
+//! The paper's network simulator (VINT/NSE) "allows definition of an
+//! arbitrary network configuration" and delivers live traffic "to the right
+//! destination with the right delay" (§2.4.2). We model topologies as
+//! graphs of hosts and routers joined by duplex links with bandwidth,
+//! propagation delay, and a bounded FIFO queue; routes are static shortest
+//! paths (Dijkstra on propagation delay, hop count as tie-break), computed
+//! when the topology is frozen.
+
+use serde::{Deserialize, Serialize};
+
+use mgrid_desim::time::SimDuration;
+
+/// Index of a node in the topology.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+/// Index of a *directed* link.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LinkId(pub usize);
+
+/// What a node is; only hosts may bind ports and originate traffic.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// An end host with a NIC.
+    Host,
+    /// A store-and-forward router.
+    Router,
+}
+
+/// Characteristics of one link direction.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct LinkSpec {
+    /// Raw bandwidth in bits per second (virtual network time).
+    pub bandwidth_bps: f64,
+    /// One-way propagation delay.
+    pub delay: SimDuration,
+    /// FIFO queue capacity in bytes; arrivals beyond this are dropped.
+    pub queue_bytes: u64,
+}
+
+impl LinkSpec {
+    /// A link with the given bandwidth (bits/s) and delay, with a default
+    /// 512 KB queue (comfortably above one flow-control window, so drops
+    /// only occur under genuine congestion).
+    pub fn new(bandwidth_bps: f64, delay: SimDuration) -> Self {
+        LinkSpec {
+            bandwidth_bps,
+            delay,
+            queue_bytes: 512 * 1024,
+        }
+    }
+
+    /// 100 Mb/s switched Ethernet with a typical LAN delay.
+    pub fn fast_ethernet() -> Self {
+        LinkSpec::new(100e6, SimDuration::from_micros(50))
+    }
+
+    /// 1.2 Gb/s Myrinet (the paper's HPVM cluster interconnect).
+    pub fn myrinet() -> Self {
+        LinkSpec::new(1.2e9, SimDuration::from_micros(10))
+    }
+
+    /// Serialization time of `bytes` on this link (virtual time).
+    pub fn tx_time(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_secs_f64(bytes as f64 * 8.0 / self.bandwidth_bps)
+    }
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct NodeInfo {
+    pub name: String,
+    pub kind: NodeKind,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct LinkInfo {
+    pub spec: LinkSpec,
+    pub from: NodeId,
+    pub to: NodeId,
+}
+
+/// An immutable, routed topology.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    pub(crate) nodes: Vec<NodeInfo>,
+    pub(crate) links: Vec<LinkInfo>,
+    /// `next_hop[src][dst]` = first directed link on the path, if reachable.
+    pub(crate) next_hop: Vec<Vec<Option<LinkId>>>,
+}
+
+/// Builder for [`Topology`].
+#[derive(Default)]
+pub struct TopologyBuilder {
+    nodes: Vec<NodeInfo>,
+    links: Vec<LinkInfo>,
+}
+
+impl TopologyBuilder {
+    /// Start an empty topology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an end host.
+    pub fn host(&mut self, name: impl Into<String>) -> NodeId {
+        self.add_node(name, NodeKind::Host)
+    }
+
+    /// Add a router.
+    pub fn router(&mut self, name: impl Into<String>) -> NodeId {
+        self.add_node(name, NodeKind::Router)
+    }
+
+    fn add_node(&mut self, name: impl Into<String>, kind: NodeKind) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(NodeInfo {
+            name: name.into(),
+            kind,
+        });
+        id
+    }
+
+    /// Add a duplex link (two directed links with the same spec).
+    pub fn link(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) -> (LinkId, LinkId) {
+        assert!(a != b, "self-link on node {a:?}");
+        let ab = LinkId(self.links.len());
+        self.links.push(LinkInfo {
+            spec: spec.clone(),
+            from: a,
+            to: b,
+        });
+        let ba = LinkId(self.links.len());
+        self.links.push(LinkInfo {
+            spec,
+            from: b,
+            to: a,
+        });
+        (ab, ba)
+    }
+
+    /// Add an asymmetric directed link.
+    pub fn directed_link(&mut self, from: NodeId, to: NodeId, spec: LinkSpec) -> LinkId {
+        assert!(from != to, "self-link on node {from:?}");
+        let id = LinkId(self.links.len());
+        self.links.push(LinkInfo { spec, from, to });
+        id
+    }
+
+    /// Freeze the topology and compute routes.
+    pub fn build(self) -> Topology {
+        let n = self.nodes.len();
+        let mut adj: Vec<Vec<(LinkId, NodeId, SimDuration)>> = vec![Vec::new(); n];
+        for (i, l) in self.links.iter().enumerate() {
+            adj[l.from.0].push((LinkId(i), l.to, l.spec.delay));
+        }
+        // All-destinations Dijkstra from every node; costs are
+        // (delay_nanos, hops) compared lexicographically.
+        let mut next_hop = vec![vec![None; n]; n];
+        for src in 0..n {
+            let mut dist: Vec<(u64, u32)> = vec![(u64::MAX, u32::MAX); n];
+            let mut first: Vec<Option<LinkId>> = vec![None; n];
+            let mut heap = std::collections::BinaryHeap::new();
+            dist[src] = (0, 0);
+            heap.push(std::cmp::Reverse(((0u64, 0u32), src, None::<LinkId>)));
+            while let Some(std::cmp::Reverse((d, u, via))) = heap.pop() {
+                if d > dist[u] {
+                    continue;
+                }
+                first[u] = via;
+                for &(lid, v, delay) in &adj[u] {
+                    let nd = (d.0 + delay.as_nanos().max(1), d.1 + 1);
+                    if nd < dist[v.0] {
+                        dist[v.0] = nd;
+                        let via0 = via.or(Some(lid));
+                        heap.push(std::cmp::Reverse((nd, v.0, via0)));
+                    }
+                }
+            }
+            for dst in 0..n {
+                if dst != src {
+                    next_hop[src][dst] = first[dst];
+                }
+            }
+        }
+        Topology {
+            nodes: self.nodes,
+            links: self.links,
+            next_hop,
+        }
+    }
+}
+
+impl Topology {
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of *directed* links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Name of a node.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.nodes[id.0].name
+    }
+
+    /// Kind of a node.
+    pub fn node_kind(&self, id: NodeId) -> NodeKind {
+        self.nodes[id.0].kind
+    }
+
+    /// Spec of a directed link.
+    pub fn link_spec(&self, id: LinkId) -> &LinkSpec {
+        &self.links[id.0].spec
+    }
+
+    /// First directed link on the route from `src` to `dst`.
+    pub fn next_hop(&self, src: NodeId, dst: NodeId) -> Option<LinkId> {
+        self.next_hop[src.0][dst.0]
+    }
+
+    /// Full route (sequence of directed links) from `src` to `dst`.
+    pub fn route(&self, src: NodeId, dst: NodeId) -> Option<Vec<LinkId>> {
+        let mut path = Vec::new();
+        let mut cur = src;
+        while cur != dst {
+            let lid = self.next_hop[cur.0][dst.0]?;
+            path.push(lid);
+            cur = self.links[lid.0].to;
+            if path.len() > self.nodes.len() {
+                return None; // routing loop: should be impossible
+            }
+        }
+        Some(path)
+    }
+
+    /// Sum of propagation delays along the route.
+    pub fn path_delay(&self, src: NodeId, dst: NodeId) -> Option<SimDuration> {
+        Some(
+            self.route(src, dst)?
+                .iter()
+                .map(|l| self.links[l.0].spec.delay)
+                .fold(SimDuration::ZERO, |a, b| a + b),
+        )
+    }
+
+    /// Minimum bandwidth along the route (the bottleneck link).
+    pub fn path_bottleneck_bps(&self, src: NodeId, dst: NodeId) -> Option<f64> {
+        self.route(src, dst)?
+            .iter()
+            .map(|l| self.links[l.0].spec.bandwidth_bps)
+            .min_by(|a, b| a.partial_cmp(b).unwrap())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> SimDuration {
+        SimDuration::from_millis(n)
+    }
+
+    #[test]
+    fn two_hosts_direct_link() {
+        let mut b = TopologyBuilder::new();
+        let a = b.host("a");
+        let c = b.host("c");
+        b.link(a, c, LinkSpec::new(1e6, ms(5)));
+        let t = b.build();
+        assert_eq!(t.route(a, c).unwrap().len(), 1);
+        assert_eq!(t.path_delay(a, c).unwrap(), ms(5));
+        assert_eq!(t.path_delay(c, a).unwrap(), ms(5));
+    }
+
+    #[test]
+    fn routes_through_router() {
+        let mut b = TopologyBuilder::new();
+        let h1 = b.host("h1");
+        let r = b.router("r");
+        let h2 = b.host("h2");
+        b.link(h1, r, LinkSpec::new(1e6, ms(1)));
+        b.link(r, h2, LinkSpec::new(1e6, ms(2)));
+        let t = b.build();
+        let route = t.route(h1, h2).unwrap();
+        assert_eq!(route.len(), 2);
+        assert_eq!(t.path_delay(h1, h2).unwrap(), ms(3));
+    }
+
+    #[test]
+    fn shortest_delay_path_wins() {
+        let mut b = TopologyBuilder::new();
+        let s = b.host("s");
+        let d = b.host("d");
+        let slow = b.router("slow");
+        let fast = b.router("fast");
+        b.link(s, slow, LinkSpec::new(1e6, ms(50)));
+        b.link(slow, d, LinkSpec::new(1e6, ms(50)));
+        b.link(s, fast, LinkSpec::new(1e6, ms(1)));
+        b.link(fast, d, LinkSpec::new(1e6, ms(1)));
+        let t = b.build();
+        assert_eq!(t.path_delay(s, d).unwrap(), ms(2));
+        let route = t.route(s, d).unwrap();
+        assert_eq!(t.links[route[0].0].to, fast);
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut b = TopologyBuilder::new();
+        let a = b.host("a");
+        let c = b.host("island");
+        let _ = a;
+        let t = b.build();
+        assert!(t.route(a, c).is_none());
+        assert!(t.path_delay(a, c).is_none());
+    }
+
+    #[test]
+    fn bottleneck_is_min_bandwidth() {
+        let mut b = TopologyBuilder::new();
+        let a = b.host("a");
+        let r1 = b.router("r1");
+        let r2 = b.router("r2");
+        let z = b.host("z");
+        b.link(a, r1, LinkSpec::new(622e6, ms(1)));
+        b.link(r1, r2, LinkSpec::new(10e6, ms(10)));
+        b.link(r2, z, LinkSpec::new(155e6, ms(1)));
+        let t = b.build();
+        assert_eq!(t.path_bottleneck_bps(a, z).unwrap(), 10e6);
+    }
+
+    #[test]
+    fn tx_time_scales_with_size() {
+        let l = LinkSpec::new(100e6, ms(0));
+        assert_eq!(l.tx_time(1250).as_micros(), 100); // 10 kbit at 100 Mb/s
+        assert_eq!(l.tx_time(12500).as_millis(), 1);
+    }
+
+    #[test]
+    fn route_is_consistent_hop_by_hop() {
+        // A ring of 6 routers with hosts hanging off: next_hop chains must
+        // terminate and agree with route().
+        let mut b = TopologyBuilder::new();
+        let hosts: Vec<NodeId> = (0..6).map(|i| b.host(format!("h{i}"))).collect();
+        let routers: Vec<NodeId> = (0..6).map(|i| b.router(format!("r{i}"))).collect();
+        for i in 0..6 {
+            b.link(hosts[i], routers[i], LinkSpec::new(1e8, ms(1)));
+            b.link(routers[i], routers[(i + 1) % 6], LinkSpec::new(1e8, ms(2)));
+        }
+        let t = b.build();
+        for &s in &hosts {
+            for &d in &hosts {
+                if s == d {
+                    continue;
+                }
+                let route = t.route(s, d).expect("connected");
+                assert_eq!(t.links[route.last().unwrap().0].to, d);
+                assert!(route.len() <= 6);
+            }
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Run a NAS Parallel Benchmark on the virtual Alpha cluster and compare
+//! against the "physical grid" baseline — one cell of the paper's Fig 10.
+//!
+//! ```text
+//! cargo run --release --example npb_cluster            # MG class S
+//! cargo run --release --example npb_cluster -- LU A    # pick bench+class
+//! ```
+
+use std::future::Future;
+use std::pin::Pin;
+
+use microgrid::apps::npb::{self, NpbBenchmark, NpbClass, NpbResult};
+use microgrid::desim::Simulation;
+use microgrid::mpi::MpiParams;
+use microgrid::{presets, VirtualGrid};
+
+fn run(baseline: bool, bench: NpbBenchmark, class: NpbClass) -> NpbResult {
+    let mut sim = Simulation::new(7);
+    let results = sim.block_on(async move {
+        let config = presets::alpha_cluster();
+        let grid = if baseline {
+            VirtualGrid::build_baseline(config).expect("valid config")
+        } else {
+            VirtualGrid::build(config).expect("valid config")
+        };
+        grid.mpirun_all(MpiParams::default(), move |comm| {
+            Box::pin(npb::run(bench, comm, class, None))
+                as Pin<Box<dyn Future<Output = NpbResult>>>
+        })
+        .await
+    });
+    results.into_iter().next().expect("rank 0")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bench = match args.first().map(String::as_str) {
+        Some("EP") => NpbBenchmark::EP,
+        Some("BT") => NpbBenchmark::BT,
+        Some("LU") => NpbBenchmark::LU,
+        Some("IS") => NpbBenchmark::IS,
+        Some("MG") | None => NpbBenchmark::MG,
+        Some(other) => {
+            eprintln!("unknown benchmark {other:?} (EP|BT|LU|MG|IS)");
+            std::process::exit(2);
+        }
+    };
+    let class = match args.get(1).map(String::as_str) {
+        Some("A") => NpbClass::A,
+        Some("S") | None => NpbClass::S,
+        Some(other) => {
+            eprintln!("unknown class {other:?} (S|A)");
+            std::process::exit(2);
+        }
+    };
+    println!("NPB {} class {} on 4 virtual Alpha hosts", bench.name(), class.name());
+
+    let phys = run(true, bench, class);
+    println!(
+        "  physical grid : {:8.3} virtual s  (verified: {})",
+        phys.virtual_seconds, phys.verified
+    );
+    let mgrid = run(false, bench, class);
+    println!(
+        "  MicroGrid     : {:8.3} virtual s  (verified: {})",
+        mgrid.virtual_seconds, mgrid.verified
+    );
+    let err = (mgrid.virtual_seconds - phys.virtual_seconds) / phys.virtual_seconds * 100.0;
+    println!("  modeling error: {err:+.2}%  (paper's Fig 10: within 2-4%)");
+}

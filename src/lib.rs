@@ -1,0 +1,3 @@
+//! Umbrella crate re-exporting the MicroGrid-rs workspace for examples and
+//! integration tests.
+pub use microgrid;

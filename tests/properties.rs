@@ -1,0 +1,141 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use microgrid::desim::time::{SimDuration, SimTime};
+use microgrid::desim::vclock::VirtualClock;
+use microgrid::desim::{sleep, Simulation};
+use microgrid::gis::{Dn, Filter, Record};
+use microgrid::netsim::{LinkSpec, NodeId, TopologyBuilder};
+
+proptest! {
+    /// SimTime/SimDuration arithmetic: (t + d) - t == d for all in-range
+    /// values.
+    #[test]
+    fn time_add_sub_roundtrip(t in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+        let t = SimTime::from_nanos(t);
+        let d = SimDuration::from_nanos(d);
+        prop_assert_eq!((t + d) - t, d);
+        prop_assert_eq!((t + d) - d, t);
+    }
+
+    /// Duration scaling: mul then div by the same factor is near-identity
+    /// (up to rounding of the intermediate nanosecond value).
+    #[test]
+    fn duration_scale_roundtrip(ns in 1u64..1_000_000_000_000u64, f in 0.01f64..100.0) {
+        let d = SimDuration::from_nanos(ns);
+        let back = d.mul_f64(f).div_f64(f);
+        let err = (back.as_nanos() as i128 - ns as i128).unsigned_abs();
+        // One nanosecond of rounding per operation, scaled by 1/f when
+        // dividing back.
+        let bound = 2 + (1.0 / f).ceil() as u128;
+        prop_assert!(err <= bound, "ns={ns} f={f} back={} err={err}", back.as_nanos());
+    }
+}
+
+proptest! {
+    /// The virtual clock is monotone for any positive rate schedule.
+    #[test]
+    fn vclock_monotone(
+        rates in prop::collection::vec(0.01f64..50.0, 1..6),
+        probes in prop::collection::vec(0u64..100_000_000_000u64, 1..20),
+    ) {
+        let clock = VirtualClock::new(rates[0]);
+        for (i, r) in rates.iter().enumerate().skip(1) {
+            clock.set_rate(SimTime::from_secs_f64(i as f64 * 5.0), *r);
+        }
+        let mut sorted = probes.clone();
+        sorted.sort_unstable();
+        let mut prev = SimTime::ZERO;
+        for p in sorted {
+            let v = clock.virtual_at(SimTime::from_nanos(p));
+            prop_assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    /// DN parse/display round-trips for simple identifiers.
+    #[test]
+    fn dn_roundtrip(parts in prop::collection::vec("[a-z]{1,8}", 1..5)) {
+        let s: Vec<String> = parts.iter().enumerate()
+            .map(|(i, p)| format!("ou{i}={p}"))
+            .collect();
+        let text = s.join(", ");
+        let dn = Dn::parse(&text).unwrap();
+        prop_assert_eq!(Dn::parse(&dn.to_string()).unwrap(), dn);
+    }
+
+    /// De Morgan: !(a & b) == (!a | !b) over arbitrary records.
+    #[test]
+    fn filter_de_morgan(
+        attrs in prop::collection::vec(("[a-d]", "[x-z]{1,3}"), 0..6),
+        a_attr in "[a-d]", a_val in "[x-z]{1,3}",
+        b_attr in "[a-d]", b_val in "[x-z]{1,3}",
+    ) {
+        let mut rec = Record::new(Dn::parse("o=test").unwrap());
+        for (k, v) in &attrs {
+            rec.add(k, v.clone());
+        }
+        let a = Filter::eq(&a_attr, a_val);
+        let b = Filter::eq(&b_attr, b_val);
+        let lhs = Filter::not(Filter::and([a.clone(), b.clone()]));
+        let rhs = Filter::or([Filter::not(a), Filter::not(b)]);
+        prop_assert_eq!(lhs.matches(&rec), rhs.matches(&rec));
+    }
+
+    /// Routing: on random connected topologies every host pair routes,
+    /// hop-by-hop next-hops agree with the full route, and the path delay
+    /// equals the sum of link delays.
+    #[test]
+    fn routing_consistency(
+        n_hosts in 2usize..6,
+        extra_edges in prop::collection::vec((0usize..8, 0usize..8, 1u64..60), 0..8),
+    ) {
+        let mut b = TopologyBuilder::new();
+        let hosts: Vec<NodeId> = (0..n_hosts).map(|i| b.host(format!("h{i}"))).collect();
+        let routers: Vec<NodeId> = (0..3).map(|i| b.router(format!("r{i}"))).collect();
+        let all: Vec<NodeId> = hosts.iter().chain(&routers).copied().collect();
+        // A spanning chain guarantees connectivity.
+        for w in all.windows(2) {
+            b.link(w[0], w[1], LinkSpec::new(1e8, SimDuration::from_millis(1)));
+        }
+        for (x, y, ms) in extra_edges {
+            let a = all[x % all.len()];
+            let c = all[y % all.len()];
+            if a != c {
+                b.link(a, c, LinkSpec::new(1e8, SimDuration::from_millis(ms)));
+            }
+        }
+        let topo = b.build();
+        for &s in &hosts {
+            for &d in &hosts {
+                if s == d { continue; }
+                let route = topo.route(s, d).expect("connected");
+                prop_assert_eq!(topo.next_hop(s, d), Some(route[0]));
+                let sum = route.iter()
+                    .map(|l| topo.link_spec(*l).delay)
+                    .fold(SimDuration::ZERO, |a, b| a + b);
+                prop_assert_eq!(topo.path_delay(s, d), Some(sum));
+            }
+        }
+    }
+
+    /// The executor delivers timers in order for arbitrary delay sets.
+    #[test]
+    fn executor_fires_in_time_order(delays in prop::collection::vec(0u64..1_000_000u64, 1..40)) {
+        let mut sim = Simulation::new(5);
+        let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        for d in delays {
+            let log = log.clone();
+            sim.spawn(async move {
+                sleep(SimDuration::from_nanos(d)).await;
+                log.borrow_mut().push(d);
+            });
+        }
+        sim.run_to_completion();
+        let fired = log.borrow().clone();
+        let mut sorted = fired.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(fired, sorted);
+    }
+}
