@@ -1,0 +1,27 @@
+# Development targets. Each recipe is a plain cargo invocation, so
+# everything here also works without `just` by copying the command.
+
+# Build + test everything.
+default: test
+
+build:
+    cargo build --workspace
+
+test:
+    cargo test --workspace
+
+# Documentation, formatting, and lint gate — keep these warning-free.
+docs:
+    cargo doc --no-deps --workspace
+    cargo fmt --check
+    cargo clippy --workspace --all-targets -- -D warnings
+
+fmt:
+    cargo fmt --all
+
+# Regenerate the paper's figures (fast, shrunken parameters).
+figures:
+    MGRID_FAST=1 cargo run --release -p mgrid-bench --bin repro -- all
+
+bench:
+    cargo bench --workspace

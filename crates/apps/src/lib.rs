@@ -60,10 +60,17 @@ mod tests {
         let mut sim = Simulation::new(42);
         let results = sim.block_on(async move {
             let (table, net, clock, hosts) = cluster4();
-            mpirun(&table, &net, &clock, &hosts, MpiParams::default(), move |comm| {
-                Box::pin(npb::run(bench, comm, class, None))
-                    as std::pin::Pin<Box<dyn std::future::Future<Output = NpbResult>>>
-            })
+            mpirun(
+                &table,
+                &net,
+                &clock,
+                &hosts,
+                MpiParams::default(),
+                move |comm| {
+                    Box::pin(npb::run(bench, comm, class, None))
+                        as std::pin::Pin<Box<dyn std::future::Future<Output = NpbResult>>>
+                },
+            )
             .await
         });
         results.into_iter().next().expect("rank 0 result")

@@ -66,8 +66,10 @@ pub async fn run(comm: Comm, class: NpbClass, sensors: Option<NpbSensors>) -> Np
     let cells_per_edge = u64::from(sh.n) / q as u64;
     let face_bytes = cells_per_edge * cells_per_edge * 25 * 8 + 64;
     // 3 sweeps + the rhs/boundary phase split the per-step budget.
-    let mops_per_stage =
-        sh.four_rank_total_mops / p as f64 / sh.iters as f64 / (3.0 * STAGES_PER_SWEEP as f64 + 1.0);
+    let mops_per_stage = sh.four_rank_total_mops
+        / p as f64
+        / sh.iters as f64
+        / (3.0 * STAGES_PER_SWEEP as f64 + 1.0);
 
     let (secs, checksum) = timed(&comm, || {
         let comm = comm.clone();

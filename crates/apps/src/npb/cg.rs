@@ -49,8 +49,7 @@ pub async fn run(comm: Comm, class: NpbClass, sensors: Option<NpbSensors>) -> Np
     // Row-band partner: CG's transpose exchange pairs rank with its
     // mirror (power-of-two layouts).
     let partner = p - 1 - rank;
-    let mops_per_matvec =
-        sh.four_rank_total_mops / p as f64 / (sh.outer as f64 * sh.inner as f64);
+    let mops_per_matvec = sh.four_rank_total_mops / p as f64 / (sh.outer as f64 * sh.inner as f64);
 
     let (secs, zeta) = timed(&comm, || {
         let comm = comm.clone();

@@ -72,8 +72,14 @@ pub async fn run(comm: Comm, class: NpbClass, sensors: Option<NpbSensors>) -> Np
                 })
                 .await
                 .expect("allreduce q");
-            let sx = comm.allreduce(sx, 8, |a, b| a + b).await.expect("allreduce sx");
-            let sy = comm.allreduce(sy, 8, |a, b| a + b).await.expect("allreduce sy");
+            let sx = comm
+                .allreduce(sx, 8, |a, b| a + b)
+                .await
+                .expect("allreduce sx");
+            let sy = comm
+                .allreduce(sy, 8, |a, b| a + b)
+                .await
+                .expect("allreduce sy");
             (q, sx, sy)
         }
     })

@@ -61,10 +61,22 @@ pub async fn run(comm: Comm, class: NpbClass, sensors: Option<NpbSensors>) -> Np
     let (rows, cols) = proc_grid(p);
     let row = comm.rank() / cols;
     let col = comm.rank() % cols;
-    let north = if row > 0 { Some(comm.rank() - cols) } else { None };
-    let south = if row + 1 < rows { Some(comm.rank() + cols) } else { None };
+    let north = if row > 0 {
+        Some(comm.rank() - cols)
+    } else {
+        None
+    };
+    let south = if row + 1 < rows {
+        Some(comm.rank() + cols)
+    } else {
+        None
+    };
     let west = if col > 0 { Some(comm.rank() - 1) } else { None };
-    let east = if col + 1 < cols { Some(comm.rank() + 1) } else { None };
+    let east = if col + 1 < cols {
+        Some(comm.rank() + 1)
+    } else {
+        None
+    };
 
     // Per-plane boundary strip: n/cols cells x 5 variables x 8 bytes.
     let strip_bytes = u64::from(sh.n) / cols as u64 * 5 * 8 + 32;
@@ -128,14 +140,12 @@ pub async fn run(comm: Comm, class: NpbClass, sensors: Option<NpbSensors>) -> Np
                 for i in 1..m - 1 {
                     for j in 1..m - 1 {
                         let idx = i * m + j;
-                        let gs = 0.25
-                            * (u[idx - 1] + u[idx + 1] + u[idx - m] + u[idx + m]);
+                        let gs = 0.25 * (u[idx - 1] + u[idx + 1] + u[idx - m] + u[idx + m]);
                         u[idx] = (1.0 - omega) * u[idx] + omega * gs;
                     }
                 }
                 if let Some(s) = &sensors {
-                    s.counter
-                        .set(progress_value(iter as u64 + 1));
+                    s.counter.set(progress_value(iter as u64 + 1));
                 }
                 // Periodic residual norm, as NPB LU computes every
                 // `inorm` iterations.

@@ -171,10 +171,7 @@ pub(crate) fn progress_value(iteration: u64) -> f64 {
 
 /// Measure a body's elapsed virtual time on rank 0's clock, with barriers
 /// framing the timed region like NPB's `timer_start`/`timer_stop`.
-pub(crate) async fn timed<F, Fut>(
-    comm: &mgrid_mpi::Comm,
-    body: F,
-) -> (f64, Fut::Output)
+pub(crate) async fn timed<F, Fut>(comm: &mgrid_mpi::Comm, body: F) -> (f64, Fut::Output)
 where
     F: FnOnce() -> Fut,
     Fut: std::future::Future,

@@ -84,7 +84,11 @@ pub async fn run(comm: Comm, class: NpbClass, sensors: Option<NpbSensors>) -> Np
                     for stage in 0..STAGES_PER_SWEEP {
                         compute(&comm, mops_per_stage).await;
                         if fwd != comm.rank() {
-                            let (to, from) = if stage % 2 == 0 { (fwd, bwd) } else { (bwd, fwd) };
+                            let (to, from) = if stage % 2 == 0 {
+                                (fwd, bwd)
+                            } else {
+                                (bwd, fwd)
+                            };
                             comm.sendrecv(
                                 to,
                                 tag + stage as i32 * 8,
@@ -100,11 +104,11 @@ pub async fn run(comm: Comm, class: NpbClass, sensors: Option<NpbSensors>) -> Np
                 // Pentadiagonal bands: (1, -4, 7, -4, 1)-ish, dominant.
                 let bands = [0.5f64, -1.5, 8.0, -1.5, 0.5];
                 let mut a = vec![vec![0.0f64; m]; m];
-                for i in 0..m {
+                for (i, row) in a.iter_mut().enumerate() {
                     for (o, &bv) in bands.iter().enumerate() {
                         let j = i as i64 + o as i64 - 2;
                         if (0..m as i64).contains(&j) {
-                            a[i][j as usize] = bv;
+                            row[j as usize] = bv;
                         }
                     }
                 }
@@ -115,6 +119,9 @@ pub async fn run(comm: Comm, class: NpbClass, sensors: Option<NpbSensors>) -> Np
                     let piv = aug[i][i];
                     for j in i + 1..(i + 3).min(m) {
                         let f = aug[j][i] / piv;
+                        // Two rows of `aug` are read and written at once;
+                        // an iterator form would need split_at_mut noise.
+                        #[allow(clippy::needless_range_loop)]
                         for k in i..(i + 3).min(m) {
                             aug[j][k] -= f * aug[i][k];
                         }

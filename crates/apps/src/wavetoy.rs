@@ -90,9 +90,7 @@ pub async fn run(comm: Comm, config: WaveToyConfig, sensor: Option<Sensor>) -> W
             for x in 0..MINI_N {
                 let gz = (z0 + zi - 1) as f64;
                 let c = MINI_N as f64 / 2.0;
-                let r2 = ((x as f64 - c).powi(2)
-                    + (y as f64 - c).powi(2)
-                    + (gz - c).powi(2))
+                let r2 = ((x as f64 - c).powi(2) + (y as f64 - c).powi(2) + (gz - c).powi(2))
                     / (MINI_N as f64);
                 let v = (-r2).exp();
                 u_prev[zi * plane + y * MINI_N + x] = v;
@@ -137,7 +135,13 @@ pub async fn run(comm: Comm, config: WaveToyConfig, sensor: Option<Sensor>) -> W
         if let Some(upr) = up {
             let top: Vec<f64> = u_cur[(nz - 2) * plane..(nz - 1) * plane].to_vec();
             let msg = comm
-                .sendrecv(upr, HALO_TAG, MpiData::typed(face_bytes, top), upr, HALO_TAG + 1)
+                .sendrecv(
+                    upr,
+                    HALO_TAG,
+                    MpiData::typed(face_bytes, top),
+                    upr,
+                    HALO_TAG + 1,
+                )
                 .await
                 .expect("halo up");
             let ghost = msg.data.downcast::<Vec<f64>>().expect("face data");
@@ -146,7 +150,13 @@ pub async fn run(comm: Comm, config: WaveToyConfig, sensor: Option<Sensor>) -> W
         if let Some(dnr) = down {
             let bottom: Vec<f64> = u_cur[plane..2 * plane].to_vec();
             let msg = comm
-                .sendrecv(dnr, HALO_TAG + 1, MpiData::typed(face_bytes, bottom), dnr, HALO_TAG)
+                .sendrecv(
+                    dnr,
+                    HALO_TAG + 1,
+                    MpiData::typed(face_bytes, bottom),
+                    dnr,
+                    HALO_TAG,
+                )
                 .await
                 .expect("halo down");
             let ghost = msg.data.downcast::<Vec<f64>>().expect("face data");

@@ -10,7 +10,7 @@
 use std::io::Write;
 
 use mgrid_bench::experiments::{apps, micro, network, npb, scale};
-use mgrid_bench::runner::fast_mode;
+use mgrid_bench::runner::{fast_mode, take_metrics};
 use microgrid::desim::time::SimDuration;
 use microgrid::Report;
 
@@ -138,8 +138,12 @@ fn main() {
             continue;
         }
         let t0 = std::time::Instant::now();
-        let report = (f.run)();
+        let mut report = (f.run)();
         let dt = t0.elapsed().as_secs_f64();
+        // All runner-driven simulations since the previous figure fold
+        // into this figure's snapshot.
+        let metrics = take_metrics();
+        report.attach_metrics(metrics.clone());
         println!("{}", report.to_table());
         println!("({} regenerated in {dt:.1}s wall)\n", f.id);
         if let Some(dir) = &json_dir {
@@ -148,6 +152,18 @@ fn main() {
             file.write_all(report.to_json().as_bytes())
                 .expect("write report");
             println!("wrote {path}");
+            if !metrics.is_empty() {
+                let mpath = format!("{dir}/{}.metrics.json", f.id);
+                let mut mfile = std::fs::File::create(&mpath).expect("create metrics file");
+                mfile
+                    .write_all(
+                        serde_json::to_string_pretty(&metrics)
+                            .expect("metrics serialize")
+                            .as_bytes(),
+                    )
+                    .expect("write metrics");
+                println!("wrote {mpath}");
+            }
         }
     }
 }

@@ -20,7 +20,10 @@ pub fn fig16_cactus() -> Report {
     for wt in configs {
         let phys = run_wavetoy(presets::alpha_cluster(), Mode::Physical, wt);
         let mgrid = run_wavetoy(presets::alpha_cluster(), Mode::MicroGrid, wt);
-        assert!(phys.verified && mgrid.verified, "WaveToy verification failed");
+        assert!(
+            phys.verified && mgrid.verified,
+            "WaveToy verification failed"
+        );
         rep.rows.push(ComparisonRow {
             label: format!("WaveToy {}^3", wt.grid_edge),
             physical_seconds: phys.virtual_seconds,
@@ -34,7 +37,11 @@ pub fn fig16_cactus() -> Report {
 /// Fig 17: Autopilot counter traces on the physical system and inside a
 /// 4%-CPU MicroGrid; skew is the RMS percentage difference per sample.
 pub fn fig17_autopilot() -> Report {
-    let class = if fast_mode() { NpbClass::S } else { NpbClass::A };
+    let class = if fast_mode() {
+        NpbClass::S
+    } else {
+        NpbClass::A
+    };
     let mut rep = Report::new(
         "fig17",
         format!(
@@ -45,10 +52,20 @@ pub fn fig17_autopilot() -> Report {
     // Long enough to cover any class A run at 1 sample per virtual second.
     let horizon = SimDuration::from_secs(600);
     for bench in [NpbBenchmark::EP, NpbBenchmark::BT, NpbBenchmark::MG] {
-        let (pr, ptrace) =
-            run_npb_with_sensors(presets::alpha_cluster(), Mode::Physical, bench, class, horizon);
-        let (mr, mtrace) =
-            run_npb_with_sensors(presets::fig17_cluster(), Mode::MicroGrid, bench, class, horizon);
+        let (pr, ptrace) = run_npb_with_sensors(
+            presets::alpha_cluster(),
+            Mode::Physical,
+            bench,
+            class,
+            horizon,
+        );
+        let (mr, mtrace) = run_npb_with_sensors(
+            presets::fig17_cluster(),
+            Mode::MicroGrid,
+            bench,
+            class,
+            horizon,
+        );
         assert!(pr.verified && mr.verified);
         let n = ptrace.len().min(mtrace.len());
         let skew = rms_skew_percent(&ptrace[..n], &mtrace[..n]);

@@ -167,10 +167,11 @@ pub fn fig7_quanta(samples: usize) -> Report {
             points: vec![("mean".into(), mean), ("dev".into(), dev)],
         });
     }
-    rep.notes.push(format!("{samples} grants per scenario, normalized to the nominal quantum"));
+    rep.notes.push(format!(
+        "{samples} grants per scenario, normalized to the nominal quantum"
+    ));
     rep.notes.push(
-        "paper: none 1.000/0.002, CPU 1.01/0.015, IO 0.978/0.027 (normalized to unity mean)"
-            .into(),
+        "paper: none 1.000/0.002, CPU 1.01/0.015, IO 0.978/0.027 (normalized to unity mean)".into(),
     );
     rep
 }
@@ -216,7 +217,10 @@ mod tests {
         assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
         assert!(dev < 0.05, "dev {dev}");
         let (mean_io, dev_io, _) = quanta_distribution(Competition::Io, 300);
-        assert!(dev_io >= dev, "IO must widen the distribution: {dev_io} vs {dev}");
+        assert!(
+            dev_io >= dev,
+            "IO must widen the distribution: {dev_io} vs {dev}"
+        );
         assert!((mean_io - 1.0).abs() < 0.2, "io mean {mean_io}");
     }
 }

@@ -6,7 +6,7 @@ use microgrid::apps::npb::{NpbBenchmark, NpbClass};
 use microgrid::desim::time::SimDuration;
 use microgrid::{presets, ComparisonRow, Report, Series};
 
-use crate::runner::{class_for_run, fast_mode, run_npb, Mode};
+use crate::runner::{class_for_run, run_npb, Mode};
 
 /// Fig 9: the two virtual Grid configurations studied.
 pub fn fig9_configs() -> Report {
@@ -74,12 +74,7 @@ pub fn fig11_quanta_sweep() -> Report {
     );
     let quanta_us = [2_500u64, 5_000, 10_000, 30_000];
     for bench in benches(false) {
-        let phys = run_npb(
-            presets::alpha_cluster(),
-            Mode::Physical,
-            bench,
-            NpbClass::S,
-        );
+        let phys = run_npb(presets::alpha_cluster(), Mode::Physical, bench, NpbClass::S);
         let mut points = vec![("physical".to_string(), phys.virtual_seconds)];
         for q in quanta_us {
             // The quantum effect shows on a shared deployment (fraction
@@ -108,7 +103,10 @@ pub fn fig12_cpu_scaling() -> Report {
     let class = class_for_run();
     let mut rep = Report::new(
         "fig12",
-        format!("CPU scaling at fixed 1 Mb/s / 50 ms network (class {})", class.name()),
+        format!(
+            "CPU scaling at fixed 1 Mb/s / 50 ms network (class {})",
+            class.name()
+        ),
     );
     for bench in benches(false) {
         let mut base = None;
@@ -146,12 +144,7 @@ pub fn fig14_vbns() -> Report {
     for bench in benches(false) {
         let mut points = Vec::new();
         for bw in [622e6, 155e6, 10e6] {
-            let r = run_npb(
-                presets::vbns_grid(bw),
-                Mode::MicroGrid,
-                bench,
-                NpbClass::S,
-            );
+            let r = run_npb(presets::vbns_grid(bw), Mode::MicroGrid, bench, NpbClass::S);
             points.push((format!("{:.0}Mb/s", bw / 1e6), r.virtual_seconds));
         }
         rep.series.push(Series {
@@ -170,7 +163,9 @@ pub fn fig14_vbns() -> Report {
 /// Fig 15: identical virtual results across emulation rates (1x..8x
 /// system speed). Values are virtual run times normalized to the 1x run.
 pub fn fig15_emulation_rates() -> Report {
-    let class = if fast_mode() { NpbClass::S } else { NpbClass::S };
+    // Class S on both paths: the rate-invariance property is independent
+    // of problem size and class A adds nothing but wall time here.
+    let class = NpbClass::S;
     let mut rep = Report::new(
         "fig15",
         "Virtual run time across emulation rates (normalized, class S)",
@@ -219,20 +214,14 @@ mod tests {
     #[test]
     fn class_s_comparisons_track() {
         for bench in [NpbBenchmark::EP, NpbBenchmark::MG] {
-            let phys = run_npb(
-                presets::alpha_cluster(),
-                Mode::Physical,
-                bench,
-                NpbClass::S,
-            );
+            let phys = run_npb(presets::alpha_cluster(), Mode::Physical, bench, NpbClass::S);
             let mgrid = run_npb(
                 presets::alpha_cluster(),
                 Mode::MicroGrid,
                 bench,
                 NpbClass::S,
             );
-            let err =
-                (mgrid.virtual_seconds - phys.virtual_seconds).abs() / phys.virtual_seconds;
+            let err = (mgrid.virtual_seconds - phys.virtual_seconds).abs() / phys.virtual_seconds;
             assert!(
                 err < 0.12,
                 "{}: phys {:.3} vs mgrid {:.3} ({:.1}%)",

@@ -1,14 +1,35 @@
 //! Shared drivers for the figure regenerators.
 
+use std::cell::RefCell;
 use std::future::Future;
 use std::pin::Pin;
 
 use microgrid::apps::npb::{self, NpbBenchmark, NpbClass, NpbResult, NpbSensors};
 use microgrid::apps::{Autopilot, WaveToyConfig, WaveToyResult};
 use microgrid::desim::time::SimDuration;
-use microgrid::desim::Simulation;
+use microgrid::desim::{MetricsSnapshot, Simulation};
 use microgrid::mpi::MpiParams;
 use microgrid::{GridConfig, VirtualGrid};
+
+thread_local! {
+    /// Metrics accumulated across every simulation this thread has driven
+    /// since the last [`take_metrics`] call.
+    static ACCUM: RefCell<MetricsSnapshot> = RefCell::new(MetricsSnapshot::default());
+}
+
+/// Fold one finished simulation's metrics into the thread accumulator.
+fn note_run(sim: &Simulation) {
+    let snap = sim.obs().metrics().snapshot();
+    if !snap.is_empty() {
+        ACCUM.with(|a| a.borrow_mut().merge(&snap));
+    }
+}
+
+/// Take (and reset) the metrics accumulated over all runs since the last
+/// call — one figure's worth when called once per figure.
+pub fn take_metrics() -> MetricsSnapshot {
+    ACCUM.with(|a| std::mem::take(&mut *a.borrow_mut()))
+}
 
 /// Which side of a comparison to run.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -52,11 +73,11 @@ pub fn run_npb_on_hosts(
         let grid = build(config, mode);
         let hosts = hosts.unwrap_or_else(|| grid.host_names());
         grid.mpirun(&hosts, MpiParams::default(), move |comm| {
-            Box::pin(npb::run(bench, comm, class, None))
-                as Pin<Box<dyn Future<Output = NpbResult>>>
+            Box::pin(npb::run(bench, comm, class, None)) as Pin<Box<dyn Future<Output = NpbResult>>>
         })
         .await
     });
+    note_run(&sim);
     results.into_iter().next().expect("rank 0 result")
 }
 
@@ -70,7 +91,7 @@ pub fn run_npb_with_sensors(
     trace_horizon: SimDuration,
 ) -> (NpbResult, Vec<(f64, f64)>) {
     let mut sim = Simulation::new(config.seed ^ 0xaa);
-    sim.block_on(async move {
+    let out = sim.block_on(async move {
         let grid = build(config, mode);
         let ap = Autopilot::new();
         let counter = ap.sensor("counter");
@@ -91,7 +112,9 @@ pub fn run_npb_with_sensors(
             .await;
         let result = results.into_iter().next().expect("rank 0 result");
         (result, ap.trace("counter"))
-    })
+    });
+    note_run(&sim);
+    out
 }
 
 /// Run CACTUS WaveToy; returns rank 0's result.
@@ -106,12 +129,15 @@ pub fn run_wavetoy(config: GridConfig, mode: Mode, wt: WaveToyConfig) -> WaveToy
         })
         .await
     });
+    note_run(&sim);
     results.into_iter().next().expect("rank 0 result")
 }
 
 /// Fast mode shrinks long experiments (set `MGRID_FAST=1`).
 pub fn fast_mode() -> bool {
-    std::env::var("MGRID_FAST").map(|v| v == "1").unwrap_or(false)
+    std::env::var("MGRID_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Class A normally, class S in fast mode.

@@ -8,7 +8,15 @@
 //! mgrid run grid.json MG S               # NPB MG class S on the MicroGrid
 //! mgrid run grid.json MG S --baseline    # ... on the physical baseline
 //! mgrid run grid.json wavetoy 50         # CACTUS WaveToy, 50^3 grid
+//! mgrid run grid.json MG S --trace-out trace.jsonl   # + JSON-lines trace
 //! ```
+//!
+//! Every `run` prints a per-category metrics summary (scheduler quanta,
+//! network traffic, vsocket and MPI activity) after the result line.
+//! `--trace-out <path>` additionally enables the typed-event tracer and
+//! writes one JSON object per line; `--trace-cap <n>` bounds the retained
+//! events (default 65536, oldest evicted first — evictions show up as the
+//! `trace.dropped` counter in the summary).
 
 use std::future::Future;
 use std::pin::Pin;
@@ -64,9 +72,77 @@ fn usage() -> ! {
          \x20 validate <config.json|preset>\n\
          \x20 rate <config.json|preset>\n\
          \x20 run <config.json|preset> <EP|BT|LU|MG|IS|CG|FT|SP> <S|A> [--baseline]\n\
-         \x20 run <config.json|preset> wavetoy <grid-edge> [--baseline]"
+         \x20 run <config.json|preset> wavetoy <grid-edge> [--baseline]\n\
+         \x20 run options: --trace-out <path> [--trace-cap <n>]"
     );
     std::process::exit(2);
+}
+
+/// Observability options of `mgrid run`.
+struct ObsOpts {
+    trace_out: Option<String>,
+    trace_cap: usize,
+}
+
+/// Strip `--trace-out`/`--trace-cap` from `args`, returning the rest.
+fn parse_obs_opts(args: &[String]) -> (Vec<String>, ObsOpts) {
+    let mut rest = Vec::new();
+    let mut opts = ObsOpts {
+        trace_out: None,
+        trace_cap: 65536,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--trace-out" => {
+                let Some(path) = args.get(i + 1) else { usage() };
+                opts.trace_out = Some(path.clone());
+                i += 2;
+            }
+            "--trace-cap" => {
+                let Some(n) = args.get(i + 1).and_then(|s| s.parse().ok()) else {
+                    usage()
+                };
+                opts.trace_cap = n;
+                i += 2;
+            }
+            _ => {
+                rest.push(args[i].clone());
+                i += 1;
+            }
+        }
+    }
+    (rest, opts)
+}
+
+/// After a run: dump the trace (if requested) and print the metrics
+/// summary, including the `trace.dropped` counter.
+fn finish_run(sim: &Simulation, opts: &ObsOpts) {
+    let obs = sim.obs();
+    let dropped = obs.tracer().dropped();
+    if dropped > 0 || opts.trace_out.is_some() {
+        obs.metrics().count("trace.dropped", dropped);
+    }
+    if let Some(path) = &opts.trace_out {
+        let mut out = String::new();
+        for ev in obs.tracer().events() {
+            out.push_str(&ev.to_json_line());
+            out.push('\n');
+        }
+        if let Err(e) = std::fs::write(path, out) {
+            eprintln!("cannot write trace to {path}: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "trace: {} events written to {path} ({dropped} dropped)",
+            obs.tracer().len()
+        );
+    }
+    let snapshot = obs.metrics().snapshot();
+    if !snapshot.is_empty() {
+        println!("-- metrics --");
+        print!("{}", snapshot.to_table());
+    }
 }
 
 fn main() {
@@ -88,7 +164,11 @@ fn main() {
         Some("validate") => {
             let config = load_config(args.get(1).map(String::as_str).unwrap_or_else(|| usage()));
             match config.validate() {
-                Ok(()) => println!("ok: {} ({} virtual hosts)", config.name, config.virtual_hosts.len()),
+                Ok(()) => println!(
+                    "ok: {} ({} virtual hosts)",
+                    config.name,
+                    config.virtual_hosts.len()
+                ),
                 Err(e) => {
                     eprintln!("invalid: {e}");
                     std::process::exit(1);
@@ -117,25 +197,30 @@ fn main() {
 }
 
 fn run_cmd(args: &[String]) {
+    let (args, obs_opts) = parse_obs_opts(args);
     if args.len() < 2 {
         usage();
     }
     let config = load_config(&args[0]);
     let baseline = args.iter().any(|a| a == "--baseline");
     let app = args[1].to_ascii_uppercase();
-    let mode = if baseline { "physical baseline" } else { "MicroGrid" };
+    let mode = if baseline {
+        "physical baseline"
+    } else {
+        "MicroGrid"
+    };
     println!("running {app} on '{}' ({mode})", config.name);
 
     if app == "WAVETOY" {
-        let edge: u32 = args
-            .get(2)
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(50);
+        let edge: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(50);
         let wt = WaveToyConfig {
             grid_edge: edge,
             steps: 100,
         };
         let mut sim = Simulation::new(config.seed);
+        if obs_opts.trace_out.is_some() {
+            sim.obs().enable_tracing(obs_opts.trace_cap);
+        }
         let results = sim.block_on(async move {
             let grid = build(config, baseline);
             grid.mpirun_all(MpiParams::default(), move |comm| {
@@ -149,6 +234,7 @@ fn run_cmd(args: &[String]) {
             "wavetoy {}^3: {:.3} virtual s, energy drift {:.4}, verified {}",
             r.grid_edge, r.virtual_seconds, r.energy_drift, r.verified
         );
+        finish_run(&sim, &obs_opts);
         return;
     }
 
@@ -171,11 +257,13 @@ fn run_cmd(args: &[String]) {
         _ => NpbClass::S,
     };
     let mut sim = Simulation::new(config.seed);
+    if obs_opts.trace_out.is_some() {
+        sim.obs().enable_tracing(obs_opts.trace_cap);
+    }
     let results = sim.block_on(async move {
         let grid = build(config, baseline);
         grid.mpirun_all(MpiParams::default(), move |comm| {
-            Box::pin(npb::run(bench, comm, class, None))
-                as Pin<Box<dyn Future<Output = NpbResult>>>
+            Box::pin(npb::run(bench, comm, class, None)) as Pin<Box<dyn Future<Output = NpbResult>>>
         })
         .await
     });
@@ -188,6 +276,7 @@ fn run_cmd(args: &[String]) {
         r.ranks,
         r.verified
     );
+    finish_run(&sim, &obs_opts);
 }
 
 fn build(config: GridConfig, baseline: bool) -> VirtualGrid {

@@ -46,10 +46,7 @@ pub fn plan_rate(config: &GridConfig) -> Result<RatePlan, ConfigError> {
         })
         .collect();
     cpu_bounds.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
-    let feasible = cpu_bounds
-        .first()
-        .map(|(_, r)| *r)
-        .unwrap_or(f64::INFINITY);
+    let feasible = cpu_bounds.first().map(|(_, r)| *r).unwrap_or(f64::INFINITY);
     let chosen = match config.rate {
         RatePolicy::Auto { safety } => {
             assert!(

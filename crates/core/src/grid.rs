@@ -93,16 +93,12 @@ impl VirtualGrid {
             // The virtual hosts ARE the machines.
             for v in &config.virtual_hosts {
                 let spec = PhysicalHostSpec::new(
-                    format!("{}", v.spec.name),
+                    v.spec.name.to_string(),
                     v.spec.speed_mops,
                     v.spec.memory_bytes,
                 );
-                let ph = PhysicalHost::new(
-                    spec,
-                    OsParams::default(),
-                    sched_params.clone(),
-                    rng.fork(),
-                );
+                let ph =
+                    PhysicalHost::new(spec, OsParams::default(), sched_params.clone(), rng.fork());
                 physical.insert(v.spec.name.clone(), ph.clone());
                 table.register(&v.spec.name, node_of[&v.spec.name], ph.as_direct_virtual());
             }
@@ -144,7 +140,11 @@ impl VirtualGrid {
                 l.bandwidth_bps / 1e6,
                 l.delay.as_secs_f64() * 1e3
             );
-            let nw_type = if l.delay.as_millis() >= 5 { "WAN" } else { "LAN" };
+            let nw_type = if l.delay.as_millis() >= 5 {
+                "WAN"
+            } else {
+                "LAN"
+            };
             gis.upsert(mgrid_gis::virtualization::virtual_network_record(
                 &base,
                 &nn,

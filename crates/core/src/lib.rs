@@ -32,7 +32,9 @@ pub mod grid;
 pub mod presets;
 pub mod report;
 
-pub use config::{ConfigError, GridConfig, LinkConfig, NetworkConfig, RatePolicy, VirtualHostConfig};
+pub use config::{
+    ConfigError, GridConfig, LinkConfig, NetworkConfig, RatePolicy, VirtualHostConfig,
+};
 pub use coordinator::{plan_rate, RatePlan};
 pub use grid::VirtualGrid;
 pub use report::{ComparisonRow, Report, Series};
@@ -61,9 +63,7 @@ mod tests {
             assert_eq!(grid.host_names().len(), 4);
             let gis = grid.gis();
             let gis = gis.borrow();
-            let hosts = gis.search_all(&gis::virtualization::virtual_hosts_filter(
-                "Alpha_Cluster",
-            ));
+            let hosts = gis.search_all(&gis::virtualization::virtual_hosts_filter("Alpha_Cluster"));
             assert_eq!(hosts.len(), 4);
             let rec = hosts[0];
             assert_eq!(rec.get("Is_Virtual_Resource"), Some("Yes"));

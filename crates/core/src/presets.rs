@@ -11,7 +11,12 @@ pub const ALPHA_MOPS: f64 = 533.0;
 /// Speed of the HPVM cluster's 300 MHz Pentium II nodes.
 pub const PII_MOPS: f64 = 300.0;
 
-fn star_network(hosts: &[&str], switch: &str, bandwidth_bps: f64, delay: SimDuration) -> NetworkConfig {
+fn star_network(
+    hosts: &[&str],
+    switch: &str,
+    bandwidth_bps: f64,
+    delay: SimDuration,
+) -> NetworkConfig {
     NetworkConfig {
         routers: vec![switch.to_string()],
         links: hosts
@@ -278,8 +283,7 @@ mod tests {
         let c1 = cpu_scaled_cluster(1.0);
         let c8 = cpu_scaled_cluster(8.0);
         assert!(
-            (c8.virtual_hosts[0].spec.speed_mops / c1.virtual_hosts[0].spec.speed_mops - 8.0)
-                .abs()
+            (c8.virtual_hosts[0].spec.speed_mops / c1.virtual_hosts[0].spec.speed_mops - 8.0).abs()
                 < 1e-9
         );
     }

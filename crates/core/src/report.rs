@@ -1,5 +1,6 @@
 //! Experiment reporting: paper-style comparison rows and JSON dumps.
 
+use mgrid_desim::MetricsSnapshot;
 use serde::{Deserialize, Serialize};
 
 /// One physical-vs-MicroGrid comparison row (the unit of Figs 10, 11, 16).
@@ -45,6 +46,8 @@ pub struct Report {
     pub series: Vec<Series>,
     /// Free-form notes (calibration caveats, measured skews, ...).
     pub notes: Vec<String>,
+    /// Metrics snapshot of the run(s) behind this report, if captured.
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl Report {
@@ -84,7 +87,21 @@ impl Report {
         for n in &self.notes {
             out.push_str(&format!("note: {n}\n"));
         }
+        if let Some(m) = &self.metrics {
+            if !m.is_empty() {
+                out.push_str("-- metrics --\n");
+                out.push_str(&m.to_table());
+            }
+        }
         out
+    }
+
+    /// Attach a metrics snapshot (merging if one is already present).
+    pub fn attach_metrics(&mut self, snapshot: MetricsSnapshot) {
+        match &mut self.metrics {
+            Some(existing) => existing.merge(&snapshot),
+            None => self.metrics = Some(snapshot),
+        }
     }
 
     /// Serialize to pretty JSON.
@@ -130,6 +147,23 @@ mod tests {
         assert!(t.contains("fig10"));
         assert!(t.contains("MG"));
         assert!(t.contains("2x"));
+    }
+
+    #[test]
+    fn metrics_render_and_roundtrip() {
+        let m = mgrid_desim::Metrics::new();
+        m.count("net.drops", 3);
+        let mut rep = Report::new("fig12", "tcp");
+        rep.attach_metrics(m.snapshot());
+        let t = rep.to_table();
+        assert!(t.contains("-- metrics --"), "{t}");
+        assert!(t.contains("net.drops"), "{t}");
+        let back: Report = serde_json::from_str(&rep.to_json()).unwrap();
+        assert_eq!(back.metrics.unwrap().counter("net.drops"), 3);
+        // Attaching again merges rather than replacing.
+        m.count("net.drops", 2);
+        rep.attach_metrics(m.snapshot());
+        assert_eq!(rep.metrics.unwrap().counter("net.drops"), 8);
     }
 
     #[test]

@@ -20,6 +20,7 @@ use std::rc::Rc;
 use std::sync::{Arc, Mutex};
 use std::task::{Context, Poll, Wake, Waker};
 
+use crate::obs::Obs;
 use crate::rng::{SharedRng, SimRng};
 use crate::time::{SimDuration, SimTime};
 
@@ -81,6 +82,7 @@ pub(crate) struct SimInner {
     rng: SharedRng,
     polls: Cell<u64>,
     daemons: RefCell<std::collections::HashSet<TaskId>>,
+    obs: Obs,
 }
 
 thread_local! {
@@ -95,6 +97,13 @@ fn with_current<R>(f: impl FnOnce(&Rc<SimInner>) -> R) -> R {
             .expect("not inside a Simulation context (call via Simulation::run or block_on)");
         f(inner)
     })
+}
+
+/// Like [`with_current`], but a no-op returning `None` outside a
+/// simulation context. The observability free functions use this so
+/// instrumented code stays callable from plain unit tests.
+pub(crate) fn try_with_current<R>(f: impl FnOnce(&Rc<SimInner>) -> R) -> Option<R> {
+    CURRENT.with(|c| c.borrow().as_ref().map(f))
 }
 
 /// The simulation driver.
@@ -131,6 +140,7 @@ impl Simulation {
                 rng: SharedRng::new(seed),
                 polls: Cell::new(0),
                 daemons: RefCell::new(std::collections::HashSet::new()),
+                obs: Obs::new(),
             }),
         }
     }
@@ -138,6 +148,14 @@ impl Simulation {
     /// Current simulation time.
     pub fn now(&self) -> SimTime {
         self.inner.now.get()
+    }
+
+    /// This simulation's observability surface (tracer + metrics).
+    ///
+    /// Tracing starts disabled; call [`Obs::enable_tracing`] to capture
+    /// typed events. Metrics are always collected.
+    pub fn obs(&self) -> &Obs {
+        &self.inner.obs
     }
 
     /// Spawn a root task. May also be called from inside tasks through the
@@ -224,7 +242,10 @@ impl Simulation {
     pub fn run_to_completion(&mut self) -> SimTime {
         let t = self.run();
         let live = self.live_tasks();
-        assert!(live == 0, "simulation ended with {live} blocked task(s) at {t}");
+        assert!(
+            live == 0,
+            "simulation ended with {live} blocked task(s) at {t}"
+        );
         t
     }
 
@@ -250,6 +271,14 @@ impl Simulation {
 }
 
 impl SimInner {
+    pub(crate) fn now(&self) -> SimTime {
+        self.now.get()
+    }
+
+    pub(crate) fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
     fn spawn_future<F>(self: &Rc<Self>, fut: F) -> JoinHandle<F::Output>
     where
         F: Future + 'static,
@@ -334,7 +363,9 @@ impl SimInner {
     pub(crate) fn register_timer(&self, at: SimTime, waker: Waker) -> u64 {
         let seq = self.next_timer_seq.get();
         self.next_timer_seq.set(seq + 1);
-        self.timers.borrow_mut().push(Reverse(TimerEntry { at, seq }));
+        self.timers
+            .borrow_mut()
+            .push(Reverse(TimerEntry { at, seq }));
         self.timer_wakers.borrow_mut().insert(seq, waker);
         seq
     }

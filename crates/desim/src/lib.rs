@@ -14,6 +14,10 @@
 //! * [`vclock::VirtualClock`] maps physical time to virtual Grid time at a
 //!   configurable simulation rate — the paper's `gettimeofday`
 //!   virtualization (§2.3).
+//! * Every simulation carries an observability surface ([`obs::Obs`]):
+//!   a typed-[`event::Event`] tracer and a [`metrics::Metrics`] registry
+//!   that instrumented components write to through the free functions in
+//!   [`obs`].
 //!
 //! ## Example
 //!
@@ -28,8 +32,13 @@
 //! assert_eq!(answer, 3);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod channel;
+pub mod event;
 pub mod executor;
+pub mod metrics;
+pub mod obs;
 pub mod rng;
 pub mod sync;
 pub mod time;
@@ -37,9 +46,13 @@ pub mod timeout;
 pub mod trace;
 pub mod vclock;
 
+pub use event::{Category, Event};
 pub use executor::{
     fork_rng, now, sleep, sleep_until, spawn, spawn_daemon, with_rng, yield_now, JoinHandle,
     Simulation, TaskId,
 };
+pub use metrics::{Metrics, MetricsSnapshot};
+pub use obs::Obs;
 pub use rng::{SharedRng, SimRng};
 pub use time::{SimDuration, SimTime};
+pub use trace::{TraceEvent, Tracer};

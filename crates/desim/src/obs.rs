@@ -1,0 +1,146 @@
+//! Observability handle and in-simulation instrumentation functions.
+//!
+//! Every [`crate::Simulation`] owns an [`Obs`]: a typed-event [`Tracer`]
+//! (disabled by default) plus an always-on [`Metrics`] registry.
+//! Instrumented code anywhere in the workspace calls the free functions
+//! in this module — [`emit`], [`count`], [`observe`], [`gauge_max`] —
+//! which resolve the current simulation through the executor's
+//! thread-local context.
+//!
+//! Two properties make these safe on hot paths:
+//!
+//! - **No-op outside a simulation.** Code like the memory manager is
+//!   also used from plain unit tests with no executor running; the free
+//!   functions silently do nothing there instead of panicking.
+//! - **Lazy event construction.** [`emit`] takes a closure, so the
+//!   `String` fields of an [`Event`] are never built unless the tracer
+//!   is actually enabled.
+
+use crate::event::Event;
+use crate::executor::try_with_current;
+use crate::metrics::Metrics;
+use crate::trace::Tracer;
+
+/// The observability surface of one simulation: a shared typed-event
+/// tracer and a shared metrics registry.
+#[derive(Clone)]
+pub struct Obs {
+    tracer: Tracer,
+    metrics: Metrics,
+}
+
+impl Obs {
+    /// A fresh handle: tracing disabled, metrics empty.
+    pub fn new() -> Self {
+        Obs {
+            tracer: Tracer::disabled(),
+            metrics: Metrics::new(),
+        }
+    }
+
+    /// The event tracer (disabled until given capacity and enabled).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Convenience: give the tracer `capacity` and enable it.
+    pub fn enable_tracing(&self, capacity: usize) {
+        self.tracer.set_capacity(capacity);
+        self.tracer.set_enabled(true);
+    }
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Obs::new()
+    }
+}
+
+/// Record a typed event in the current simulation's tracer.
+///
+/// The closure runs only if a simulation context exists *and* its tracer
+/// is enabled, so disabled tracing costs one thread-local read.
+pub fn emit(event: impl FnOnce() -> Event) {
+    try_with_current(|s| {
+        let obs = s.obs();
+        if obs.tracer.is_enabled() {
+            obs.tracer.record(s.now(), event());
+        }
+    });
+}
+
+/// Add `n` to a counter in the current simulation's metrics registry.
+/// No-op outside a simulation.
+pub fn count(name: &str, n: u64) {
+    try_with_current(|s| s.obs().metrics.count(name, n));
+}
+
+/// Record a duration-like value (nanoseconds) into a histogram with the
+/// default decade bounds. No-op outside a simulation.
+pub fn observe(name: &str, value: u64) {
+    try_with_current(|s| s.obs().metrics.observe(name, value));
+}
+
+/// Record a value into a histogram created with explicit bucket bounds.
+/// No-op outside a simulation.
+pub fn observe_with(name: &str, value: u64, bounds: &[u64]) {
+    try_with_current(|s| s.obs().metrics.observe_with(name, value, bounds));
+}
+
+/// Raise a high-water-mark gauge. No-op outside a simulation.
+pub fn gauge_max(name: &str, value: f64) {
+    try_with_current(|s| s.obs().metrics.gauge_max(name, value));
+}
+
+/// Set a gauge. No-op outside a simulation.
+pub fn gauge_set(name: &str, value: f64) {
+    try_with_current(|s| s.obs().metrics.gauge_set(name, value));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Category;
+    use crate::executor::Simulation;
+
+    #[test]
+    fn noop_outside_simulation() {
+        // None of these may panic without a running executor.
+        emit(|| Event::PacketDrop { link: 1, bytes: 2 });
+        count("net.drops", 1);
+        observe("sched.quantum_ns", 5);
+        gauge_max("net.peak", 1.0);
+        gauge_set("net.rate", 2.0);
+    }
+
+    #[test]
+    fn records_into_current_simulation() {
+        let mut sim = Simulation::new(1);
+        sim.obs().enable_tracing(16);
+        let obs = sim.obs().clone();
+        sim.block_on(async {
+            emit(|| Event::PacketDrop { link: 3, bytes: 99 });
+            count("net.drops", 1);
+            count("net.drops", 1);
+            observe("net.queue_ns", 123);
+        });
+        assert_eq!(obs.tracer().events_in(Category::Net).len(), 1);
+        assert_eq!(obs.metrics().counter("net.drops"), 2);
+        assert_eq!(obs.metrics().snapshot().histograms.len(), 1);
+    }
+
+    #[test]
+    fn disabled_tracer_skips_event_construction() {
+        let mut sim = Simulation::new(1);
+        let obs = sim.obs().clone();
+        sim.block_on(async {
+            emit(|| panic!("event closure must not run while tracing is disabled"));
+        });
+        assert!(obs.tracer().is_empty());
+    }
+}

@@ -90,9 +90,10 @@ mod tests {
         let mut sim = Simulation::new(0);
         sim.spawn(async {
             let (tx, rx) = channel::<u8>();
-            let r = with_timeout(SimDuration::from_millis(1), async move {
-                rx.recv().await.ok()
-            })
+            let r = with_timeout(
+                SimDuration::from_millis(1),
+                async move { rx.recv().await.ok() },
+            )
             .await;
             assert_eq!(r, None);
             // The receiver was dropped with the timed-out future.

@@ -1,24 +1,37 @@
-//! Lightweight event tracing.
+//! Bounded ring buffer of typed trace events.
 //!
-//! Model components record `(time, category, message)` tuples into a shared
-//! ring buffer when tracing is enabled. Used by tests to assert on event
-//! ordering and by the `repro` harness to dump simulator internals.
+//! Model components record [`Event`]s (timestamped on entry) into a
+//! shared ring buffer when tracing is enabled. Consumers include tests
+//! asserting on event ordering, the `mgrid --trace-out` JSON-lines sink,
+//! and the metrics summary, which reports the [`Tracer::dropped`] count
+//! so a truncated trace is never silently read as complete.
 
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
 
+use crate::event::{Category, Event};
 use crate::time::SimTime;
 
-/// One trace record.
+/// One timestamped trace record.
 #[derive(Clone, Debug, PartialEq)]
 pub struct TraceEvent {
-    /// Physical instant of the event.
+    /// Physical instant the event was recorded.
     pub at: SimTime,
-    /// Component category, e.g. `"sched"`, `"net"`, `"mpi"`.
-    pub category: &'static str,
-    /// Human-readable payload.
-    pub message: String,
+    /// The structured event payload.
+    pub event: Event,
+}
+
+impl TraceEvent {
+    /// Category of the contained event.
+    pub fn category(&self) -> Category {
+        self.event.category()
+    }
+
+    /// Encode as one JSON-lines record (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        self.event.to_json_line(self.at.as_nanos())
+    }
 }
 
 struct TraceState {
@@ -29,14 +42,16 @@ struct TraceState {
 }
 
 /// A shared, bounded trace buffer.
+///
+/// Cloning shares the buffer. When full, the **oldest** events are
+/// evicted and counted in [`Tracer::dropped`].
 #[derive(Clone)]
 pub struct Tracer {
     state: Rc<RefCell<TraceState>>,
 }
 
 impl Tracer {
-    /// Create a tracer holding at most `capacity` events (older events are
-    /// dropped first).
+    /// Create an enabled tracer holding at most `capacity` events.
     pub fn new(capacity: usize) -> Self {
         Tracer {
             state: Rc::new(RefCell::new(TraceState {
@@ -48,7 +63,9 @@ impl Tracer {
         }
     }
 
-    /// A tracer that records nothing.
+    /// A tracer that records nothing (the default for a fresh
+    /// [`crate::Simulation`]; enable with [`Tracer::set_enabled`] after
+    /// giving it capacity via [`Tracer::set_capacity`]).
     pub fn disabled() -> Self {
         let t = Tracer::new(0);
         t.state.borrow_mut().enabled = false;
@@ -65,8 +82,19 @@ impl Tracer {
         self.state.borrow_mut().enabled = on;
     }
 
+    /// Change the buffer capacity. Excess retained events are evicted
+    /// oldest-first (and counted as dropped).
+    pub fn set_capacity(&self, capacity: usize) {
+        let mut s = self.state.borrow_mut();
+        s.capacity = capacity;
+        while s.events.len() > capacity {
+            s.events.pop_front();
+            s.dropped += 1;
+        }
+    }
+
     /// Record an event (no-op when disabled).
-    pub fn record(&self, at: SimTime, category: &'static str, message: impl Into<String>) {
+    pub fn record(&self, at: SimTime, event: Event) {
         let mut s = self.state.borrow_mut();
         if !s.enabled {
             return;
@@ -76,11 +104,7 @@ impl Tracer {
             s.dropped += 1;
         }
         if s.capacity > 0 {
-            s.events.push_back(TraceEvent {
-                at,
-                category,
-                message: message.into(),
-            });
+            s.events.push_back(TraceEvent { at, event });
         }
     }
 
@@ -89,23 +113,35 @@ impl Tracer {
         self.state.borrow().events.iter().cloned().collect()
     }
 
-    /// Events matching a category.
-    pub fn events_in(&self, category: &str) -> Vec<TraceEvent> {
+    /// Retained events of one category, oldest first.
+    pub fn events_in(&self, category: Category) -> Vec<TraceEvent> {
         self.state
             .borrow()
             .events
             .iter()
-            .filter(|e| e.category == category)
+            .filter(|e| e.category() == category)
             .cloned()
             .collect()
     }
 
-    /// Number of events evicted due to the capacity bound.
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.state.borrow().events.len()
+    }
+
+    /// True if no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.state.borrow().events.is_empty()
+    }
+
+    /// Number of events evicted because the buffer was full. A nonzero
+    /// value means [`Tracer::events`] is a *suffix* of the true event
+    /// stream, not the whole of it.
     pub fn dropped(&self) -> u64 {
         self.state.borrow().dropped
     }
 
-    /// Discard all retained events.
+    /// Discard all retained events and reset the dropped count.
     pub fn clear(&self) {
         let mut s = self.state.borrow_mut();
         s.events.clear();
@@ -117,52 +153,94 @@ impl Tracer {
 mod tests {
     use super::*;
 
+    fn ev(n: u64) -> Event {
+        Event::PacketDequeue { link: 0, bytes: n }
+    }
+
     #[test]
     fn records_in_order() {
         let t = Tracer::new(10);
-        t.record(SimTime::from_nanos(1), "a", "first");
-        t.record(SimTime::from_nanos(2), "b", "second");
+        t.record(
+            SimTime::from_nanos(1),
+            Event::QuantumGrant {
+                host: "h0".into(),
+                job: "j".into(),
+            },
+        );
+        t.record(SimTime::from_nanos(2), ev(9));
         let evs = t.events();
         assert_eq!(evs.len(), 2);
-        assert_eq!(evs[0].message, "first");
-        assert_eq!(evs[1].category, "b");
+        assert_eq!(evs[0].category(), Category::Sched);
+        assert_eq!(evs[1].event, ev(9));
     }
 
     #[test]
-    fn capacity_evicts_oldest() {
+    fn capacity_evicts_oldest_and_counts_drops() {
         let t = Tracer::new(3);
         for i in 0..5u64 {
-            t.record(SimTime::from_nanos(i), "x", format!("{i}"));
+            t.record(SimTime::from_nanos(i), ev(i));
         }
         let evs = t.events();
         assert_eq!(evs.len(), 3);
-        assert_eq!(evs[0].message, "2");
+        assert_eq!(evs[0].event, ev(2)); // 0 and 1 were evicted
+        assert_eq!(evs[2].event, ev(4));
         assert_eq!(t.dropped(), 2);
+        assert_eq!(t.len(), 3);
     }
 
     #[test]
-    fn disabled_records_nothing() {
+    fn zero_capacity_drops_everything() {
+        let t = Tracer::new(0);
+        for i in 0..4u64 {
+            t.record(SimTime::ZERO, ev(i));
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 4);
+    }
+
+    #[test]
+    fn disabled_records_nothing_and_counts_nothing() {
         let t = Tracer::disabled();
-        t.record(SimTime::ZERO, "x", "ignored");
+        t.record(SimTime::ZERO, ev(1));
         assert!(t.events().is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn set_capacity_shrinks_with_drop_accounting() {
+        let t = Tracer::new(8);
+        for i in 0..6u64 {
+            t.record(SimTime::ZERO, ev(i));
+        }
+        t.set_capacity(2);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 4);
+        assert_eq!(t.events()[0].event, ev(4));
     }
 
     #[test]
     fn filter_by_category() {
         let t = Tracer::new(10);
-        t.record(SimTime::ZERO, "net", "p1");
-        t.record(SimTime::ZERO, "sched", "q1");
-        t.record(SimTime::ZERO, "net", "p2");
-        assert_eq!(t.events_in("net").len(), 2);
-        assert_eq!(t.events_in("sched").len(), 1);
+        t.record(SimTime::ZERO, ev(1));
+        t.record(
+            SimTime::ZERO,
+            Event::QuantumGrant {
+                host: "h".into(),
+                job: "j".into(),
+            },
+        );
+        t.record(SimTime::ZERO, ev(2));
+        assert_eq!(t.events_in(Category::Net).len(), 2);
+        assert_eq!(t.events_in(Category::Sched).len(), 1);
+        assert_eq!(t.events_in(Category::Mpi).len(), 0);
     }
 
     #[test]
     fn clear_resets() {
         let t = Tracer::new(2);
-        t.record(SimTime::ZERO, "x", "a");
-        t.record(SimTime::ZERO, "x", "b");
-        t.record(SimTime::ZERO, "x", "c");
+        for i in 0..3u64 {
+            t.record(SimTime::ZERO, ev(i));
+        }
         t.clear();
         assert!(t.events().is_empty());
         assert_eq!(t.dropped(), 0);

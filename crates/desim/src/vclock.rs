@@ -112,10 +112,7 @@ impl VirtualClock {
             return virt_at(&s.current, phys);
         }
         // Find the most recent historical segment starting at or before phys.
-        match s
-            .history
-            .binary_search_by(|seg| seg.phys_start.cmp(&phys))
-        {
+        match s.history.binary_search_by(|seg| seg.phys_start.cmp(&phys)) {
             Ok(i) => virt_at(&s.history[i], phys),
             Err(0) => SimTime::ZERO, // before the first segment: clamp
             Err(i) => virt_at(&s.history[i - 1], phys),

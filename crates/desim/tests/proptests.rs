@@ -64,9 +64,9 @@ proptest! {
             got
         });
         // Per-producer subsequences are 0..count in order.
-        for p in 0..n_producers {
+        for (p, &count) in counts.iter().enumerate().take(n_producers) {
             let seq: Vec<usize> = received.iter().filter(|(q, _)| *q == p).map(|(_, i)| *i).collect();
-            prop_assert_eq!(seq, (0..counts[p]).collect::<Vec<_>>());
+            prop_assert_eq!(seq, (0..count).collect::<Vec<_>>());
         }
     }
 

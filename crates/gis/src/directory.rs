@@ -90,6 +90,9 @@ impl Directory {
     }
 
     /// Replace the record at a DN (or insert it, creating ancestors).
+    // The entry API can't be used here: the miss arm calls `add`, which
+    // needs `&mut self` while an `Entry` would still borrow `entries`.
+    #[allow(clippy::map_entry)]
     pub fn upsert(&mut self, record: Record) {
         let key = record.dn.to_string();
         if self.entries.contains_key(&key) {
@@ -226,11 +229,13 @@ mod tests {
     #[test]
     fn filtered_search_finds_virtual_hosts() {
         let d = sample();
-        let f = Filter::parse("(&(objectclass=GridComputeResource)(Is_Virtual_Resource=Yes))")
-            .unwrap();
+        let f =
+            Filter::parse("(&(objectclass=GridComputeResource)(Is_Virtual_Resource=Yes))").unwrap();
         let hits = d.search_all(&f);
         assert_eq!(hits.len(), 2);
-        assert!(hits.iter().all(|r| r.get("Is_Virtual_Resource") == Some("Yes")));
+        assert!(hits
+            .iter()
+            .all(|r| r.get("Is_Virtual_Resource") == Some("Yes")));
     }
 
     #[test]

@@ -103,7 +103,12 @@ impl Filter {
     }
 }
 
-fn substring_match(value: &str, parts: &[String], anchored_start: bool, anchored_end: bool) -> bool {
+fn substring_match(
+    value: &str,
+    parts: &[String],
+    anchored_start: bool,
+    anchored_end: bool,
+) -> bool {
     let v = value.to_ascii_lowercase();
     let mut pos = 0usize;
     let n = parts.len();
@@ -298,7 +303,9 @@ mod tests {
         assert!(Filter::parse("(is_virtual_resource=YES)")
             .unwrap()
             .matches(&r));
-        assert!(!Filter::parse("(is_virtual_resource=No)").unwrap().matches(&r));
+        assert!(!Filter::parse("(is_virtual_resource=No)")
+            .unwrap()
+            .matches(&r));
     }
 
     #[test]

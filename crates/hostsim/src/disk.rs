@@ -159,8 +159,7 @@ impl Disk {
                     let z = inner.rng.normal();
                     spec.seek.mul_f64((1.0 + spec.seek_jitter * z).max(0.1))
                 };
-                let transfer =
-                    SimDuration::from_secs_f64(req.bytes as f64 / spec.transfer_bps);
+                let transfer = SimDuration::from_secs_f64(req.bytes as f64 / spec.transfer_bps);
                 let total = seek + transfer;
                 inner.busy += total;
                 inner.ops += 1;

@@ -71,7 +71,11 @@ impl PhysicalHost {
     pub fn scheduler(&self) -> MGridScheduler {
         let mut slot = self.inner.sched.borrow_mut();
         slot.get_or_insert_with(|| {
-            MGridScheduler::start(&self.inner.kernel, self.inner.sched_params.clone())
+            MGridScheduler::start_labeled(
+                &self.inner.kernel,
+                self.inner.sched_params.clone(),
+                &self.inner.spec.name,
+            )
         })
         .clone()
     }
@@ -222,7 +226,9 @@ impl VirtualHost {
         self.inner
             .memory
             .borrow_mut()
-            .get_or_insert_with(|| MemoryManager::new(self.inner.spec.memory_bytes))
+            .get_or_insert_with(|| {
+                MemoryManager::labeled(self.inner.spec.name.clone(), self.inner.spec.memory_bytes)
+            })
             .clone()
     }
 

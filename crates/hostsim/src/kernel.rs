@@ -195,7 +195,15 @@ impl OsKernel {
         let mut v: Vec<_> = inner
             .procs
             .iter()
-            .map(|(pid, p)| (pid.0, p.name.clone(), p.counter, p.stopped, p.requests.len()))
+            .map(|(pid, p)| {
+                (
+                    pid.0,
+                    p.name.clone(),
+                    p.counter,
+                    p.stopped,
+                    p.requests.len(),
+                )
+            })
             .collect();
         v.sort_by_key(|e| e.0);
         v
@@ -373,6 +381,17 @@ impl ProcessHandle {
     /// This process's pid.
     pub fn pid(&self) -> Pid {
         self.pid
+    }
+
+    /// The name the process was spawned with (empty if it has exited).
+    pub fn name(&self) -> String {
+        self.kernel
+            .inner
+            .borrow()
+            .procs
+            .get(&self.pid)
+            .map(|p| p.name.clone())
+            .unwrap_or_default()
     }
 
     /// Consume `cpu` seconds of CPU time. Completes once the kernel has
@@ -565,10 +584,7 @@ mod tests {
             let tb = hb.await;
             // Both need 200ms CPU on a shared CPU: both finish ~400ms.
             let last = ta.max(tb);
-            assert!(
-                (last.as_secs_f64() - 0.4).abs() < 0.05,
-                "finish at {last}"
-            );
+            assert!((last.as_secs_f64() - 0.4).abs() < 0.05, "finish at {last}");
             // Fair sharing: each got its requested CPU.
             assert_eq!(a.cpu_used(), SimDuration::from_millis(200));
             assert_eq!(b.cpu_used(), SimDuration::from_millis(200));
@@ -596,10 +612,7 @@ mod tests {
             let t = h.await;
             // Resumes at 50ms, needs 10ms CPU.
             let nanos = t.as_nanos();
-            assert!(
-                (60_000_000..60_100_000).contains(&nanos),
-                "finished at {t}"
-            );
+            assert!((60_000_000..60_100_000).contains(&nanos), "finished at {t}");
         });
         sim.run_to_completion();
     }

@@ -11,6 +11,8 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
+use mgrid_desim::{obs, Event};
+
 /// Error returned when an allocation would exceed the virtual host's cap.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OutOfMemory {
@@ -50,6 +52,29 @@ struct MemState {
     peak: u64,
     procs: HashMap<u64, ProcUsage>,
     next_proc: u64,
+    /// Virtual-host label attached to emitted trace events.
+    label: String,
+}
+
+impl MemState {
+    fn note_alloc(&self, bytes: u64) {
+        obs::count("mem.allocs", 1);
+        obs::emit(|| Event::MemAlloc {
+            host: self.label.clone(),
+            bytes,
+            in_use: self.used,
+        });
+    }
+
+    fn note_deny(&self, requested: u64) {
+        obs::count("mem.denials", 1);
+        obs::emit(|| Event::MemDeny {
+            host: self.label.clone(),
+            requested,
+            in_use: self.used,
+            limit: self.limit,
+        });
+    }
 }
 
 /// Memory manager of one virtual host.
@@ -72,6 +97,12 @@ pub struct AllocId(u64);
 impl MemoryManager {
     /// Create a manager with the given capacity in bytes.
     pub fn new(limit: u64) -> Self {
+        Self::labeled("vhost", limit)
+    }
+
+    /// Like [`MemoryManager::new`], but trace events emitted by this
+    /// manager carry `label` as their host name.
+    pub fn labeled(label: impl Into<String>, limit: u64) -> Self {
         MemoryManager {
             state: Rc::new(RefCell::new(MemState {
                 limit,
@@ -79,6 +110,7 @@ impl MemoryManager {
                 peak: 0,
                 procs: HashMap::new(),
                 next_proc: 0,
+                label: label.into(),
             })),
         }
     }
@@ -90,6 +122,7 @@ impl MemoryManager {
     pub fn register_process(&self) -> Result<MemoryHandle, OutOfMemory> {
         let mut s = self.state.borrow_mut();
         if s.used + PROCESS_OVERHEAD > s.limit {
+            s.note_deny(PROCESS_OVERHEAD);
             return Err(OutOfMemory {
                 requested: PROCESS_OVERHEAD,
                 available: s.limit - s.used,
@@ -97,6 +130,7 @@ impl MemoryManager {
         }
         s.used += PROCESS_OVERHEAD;
         s.peak = s.peak.max(s.used);
+        s.note_alloc(PROCESS_OVERHEAD);
         let id = s.next_proc;
         s.next_proc += 1;
         s.procs.insert(
@@ -133,6 +167,7 @@ impl MemoryHandle {
     pub fn alloc(&self, bytes: u64) -> Result<AllocId, OutOfMemory> {
         let mut s = self.state.borrow_mut();
         if s.used + bytes > s.limit {
+            s.note_deny(bytes);
             return Err(OutOfMemory {
                 requested: bytes,
                 available: s.limit - s.used,
@@ -140,6 +175,7 @@ impl MemoryHandle {
         }
         s.used += bytes;
         s.peak = s.peak.max(s.used);
+        s.note_alloc(bytes);
         let p = s.procs.get_mut(&self.proc_id).expect("process registered");
         p.used += bytes;
         let id = p.next_id;

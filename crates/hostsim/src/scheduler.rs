@@ -22,7 +22,7 @@ use std::rc::Rc;
 
 use mgrid_desim::sync::Notify;
 use mgrid_desim::time::{SimDuration, SimTime};
-use mgrid_desim::{now, spawn_daemon};
+use mgrid_desim::{now, obs, spawn_daemon, Event};
 
 use crate::kernel::{OsKernel, ProcessHandle};
 
@@ -79,6 +79,8 @@ struct SchedInner {
     cursor: usize,
     wake: Notify,
     total_grants: u64,
+    /// Host label attached to emitted trace events.
+    label: String,
 }
 
 /// The scheduler daemon of one physical host.
@@ -92,6 +94,12 @@ pub struct MGridScheduler {
 impl MGridScheduler {
     /// Create the daemon on `kernel` and start its scheduling loop.
     pub fn start(kernel: &OsKernel, params: SchedulerParams) -> Self {
+        Self::start_labeled(kernel, params, "host")
+    }
+
+    /// Like [`MGridScheduler::start`], but trace events emitted by this
+    /// daemon carry `label` as their host name.
+    pub fn start_labeled(kernel: &OsKernel, params: SchedulerParams, label: &str) -> Self {
         let daemon = kernel.spawn_process("mgrid-schedd");
         let sched = MGridScheduler {
             inner: Rc::new(RefCell::new(SchedInner {
@@ -100,6 +108,7 @@ impl MGridScheduler {
                 cursor: 0,
                 wake: Notify::new(),
                 total_grants: 0,
+                label: label.to_string(),
             })),
             daemon,
             kernel: kernel.clone(),
@@ -239,9 +248,7 @@ impl MGridScheduler {
             let q = self.inner.borrow().params.quantum.as_nanos();
             mgrid_desim::with_rng(|r| r.below(q.max(1)))
         };
-        self.daemon
-            .os_sleep(SimDuration::from_nanos(offset))
-            .await;
+        self.daemon.os_sleep(SimDuration::from_nanos(offset)).await;
         loop {
             let Some(idx) = self.next_eligible() else {
                 let (wait, wake) = {
@@ -270,6 +277,10 @@ impl MGridScheduler {
             // the native scheduler like the real daemon does.
             self.daemon.run_cpu(overhead).await;
             let t0 = now();
+            obs::emit(|| Event::QuantumGrant {
+                host: self.inner.borrow().label.clone(),
+                job: proc.name(),
+            });
             proc.sigcont();
             self.daemon.os_sleep(quantum).await;
             // Wakeup latency: the daemon's sleep expiry is a timer event;
@@ -291,6 +302,13 @@ impl MGridScheduler {
             proc.sigstop();
             self.daemon.run_cpu(overhead).await;
             let wall = now() - t0;
+            obs::count("sched.quanta", 1);
+            obs::observe("sched.quantum_wall_ns", wall.as_nanos());
+            obs::emit(|| Event::QuantumPreempt {
+                host: self.inner.borrow().label.clone(),
+                job: proc.name(),
+                wall_ns: wall.as_nanos(),
+            });
             let mut inner = self.inner.borrow_mut();
             inner.total_grants += 1;
             let job = &mut inner.jobs[idx];

@@ -104,10 +104,7 @@ impl HostTable {
     /// All entries in registration order.
     pub fn entries(&self) -> Vec<HostEntry> {
         let t = self.inner.borrow();
-        t.order
-            .iter()
-            .map(|n| t.by_name[n].clone())
-            .collect()
+        t.order.iter().map(|n| t.by_name[n].clone()).collect()
     }
 
     /// Number of registered virtual hosts.

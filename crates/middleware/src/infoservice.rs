@@ -138,10 +138,7 @@ pub async fn gis_search(
         )
         .await
         .map_err(GisQueryError::Sock)?;
-    let msg = reply_sock
-        .recv()
-        .await
-        .map_err(GisQueryError::Sock)?;
+    let msg = reply_sock.recv().await.map_err(GisQueryError::Sock)?;
     let reply = msg
         .payload
         .downcast::<Reply>()
@@ -214,7 +211,9 @@ mod tests {
             .await
             .unwrap();
             assert_eq!(hits.len(), 2);
-            assert!(hits.iter().all(|r| r.get("Configuration_Name") == Some("A")));
+            assert!(hits
+                .iter()
+                .all(|r| r.get("Configuration_Name") == Some("A")));
         });
         sim.run_until(SimTime::from_secs_f64(5.0));
     }
@@ -229,9 +228,15 @@ mod tests {
             GisServer::start(server_ctx, sample_directory());
             let client =
                 ProcessCtx::spawn(&table, &net, &clock, "client.ucsd.edu", "client").unwrap();
-            let err = gis_search(&client, "mds.ucsd.edu", "o=Grid", Scope::Subtree, "((broken")
-                .await
-                .unwrap_err();
+            let err = gis_search(
+                &client,
+                "mds.ucsd.edu",
+                "o=Grid",
+                Scope::Subtree,
+                "((broken",
+            )
+            .await
+            .unwrap_err();
             assert!(matches!(err, GisQueryError::BadQuery(_)));
         });
         sim.run_until(SimTime::from_secs_f64(5.0));

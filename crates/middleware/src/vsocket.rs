@@ -6,10 +6,32 @@
 //! (possibly paced) virtual CPU, resolves names through the mapping table,
 //! and moves data only across the simulated virtual network.
 
+use mgrid_desim::{obs, Event};
 use mgrid_netsim::{NetError, Payload};
 
 use crate::process::ProcessCtx;
 use crate::vip::VirtIp;
+
+/// Record one outbound vsocket message in the observability layer.
+fn note_send(ctx: &ProcessCtx, dst: &str, bytes: u64) {
+    obs::count("vsock.sends", 1);
+    obs::count("vsock.bytes_sent", bytes);
+    obs::emit(|| Event::VsockSend {
+        src: ctx.gethostname().to_string(),
+        dst: dst.to_string(),
+        bytes,
+    });
+}
+
+/// Record one delivered vsocket message in the observability layer.
+fn note_recv(ctx: &ProcessCtx, bytes: u64) {
+    obs::count("vsock.recvs", 1);
+    obs::count("vsock.bytes_recvd", bytes);
+    obs::emit(|| Event::VsockRecv {
+        host: ctx.gethostname().to_string(),
+        bytes,
+    });
+}
 
 /// Errors of virtual socket operations.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -104,6 +126,7 @@ impl VSender {
             .lookup(host)
             .ok_or_else(|| SockError::UnknownHost(host.to_string()))?;
         self.ctx.process().intercept_overhead().await;
+        note_send(&self.ctx, host, size_bytes);
         self.ctx
             .endpoint()
             .send(entry.node, port, self.src_port, size_bytes, payload)
@@ -143,6 +166,7 @@ impl VSocket {
             .lookup(host)
             .ok_or_else(|| SockError::UnknownHost(host.to_string()))?;
         self.ctx.process().intercept_overhead().await;
+        note_send(&self.ctx, host, size_bytes);
         self.ctx
             .endpoint()
             .send(entry.node, port, self.port, size_bytes, payload)
@@ -154,6 +178,7 @@ impl VSocket {
     pub async fn recv(&self) -> Result<VMessage, SockError> {
         let msg = self.inbox.recv().await.map_err(|_| SockError::Closed)?;
         self.ctx.process().intercept_overhead().await;
+        note_recv(&self.ctx, msg.size_bytes);
         let src = self
             .ctx
             .table()
@@ -171,6 +196,7 @@ impl VSocket {
     /// Non-blocking receive.
     pub fn try_recv(&self) -> Option<VMessage> {
         let msg = self.inbox.try_recv()?;
+        note_recv(&self.ctx, msg.size_bytes);
         let src = self
             .ctx
             .table()

@@ -13,8 +13,8 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use mgrid_desim::channel::{oneshot, OneshotSender};
-use mgrid_desim::spawn;
 use mgrid_desim::sync::Notify;
+use mgrid_desim::{obs, spawn, Event};
 use mgrid_middleware::{ProcessCtx, SockError, VSender};
 use mgrid_netsim::Payload;
 
@@ -257,7 +257,12 @@ impl Comm {
                         &host,
                         port,
                         wire,
-                        Payload::new(MpiMsg::Eager { src, seq, tag, data }),
+                        Payload::new(MpiMsg::Eager {
+                            src,
+                            seq,
+                            tag,
+                            data,
+                        }),
                     )
                     .await;
                 outstanding.set(outstanding.get() - 1);
@@ -337,15 +342,13 @@ impl Comm {
             }
             let hit = {
                 let mut e = self.engine.borrow_mut();
-                if let Some(i) = e
-                    .eager
-                    .iter()
-                    .position(|(s, t, _)| pattern.accepts(*s, *t))
-                {
+                if let Some(i) = e.eager.iter().position(|(s, t, _)| pattern.accepts(*s, *t)) {
                     let (src, tag, data) = e.eager.remove(i);
                     Some(Hit::Eager(RecvMsg { src, tag, data }))
-                } else if let Some(i) =
-                    e.rts.iter().position(|(s, t, _, _)| pattern.accepts(*s, *t))
+                } else if let Some(i) = e
+                    .rts
+                    .iter()
+                    .position(|(s, t, _, _)| pattern.accepts(*s, *t))
                 {
                     let (src, tag, send_id, _bytes) = e.rts.remove(i);
                     Some(Hit::Rts { src, tag, send_id })
@@ -355,7 +358,8 @@ impl Comm {
             };
             match hit {
                 Some(Hit::Eager(msg)) => {
-                    self.pay(self.params.recv_overhead_mops, msg.data.bytes).await;
+                    self.pay(self.params.recv_overhead_mops, msg.data.bytes)
+                        .await;
                     return Ok(msg);
                 }
                 Some(Hit::Rts { src, tag, send_id }) => {
@@ -414,8 +418,36 @@ impl Comm {
         self.protocol_send(dst, tag, data).await
     }
 
+    /// Wrap one collective call with trace events and timing metrics.
+    /// Emitted per participating rank; `elapsed_ns` is this rank's wall
+    /// time in the collective (skew across ranks is visible in the
+    /// histogram spread).
+    async fn timed<T>(
+        &self,
+        op: &'static str,
+        fut: impl std::future::Future<Output = Result<T, SockError>>,
+    ) -> Result<T, SockError> {
+        let ranks = self.size();
+        obs::emit(|| Event::CollectiveStart { op, ranks });
+        let t0 = mgrid_desim::now();
+        let out = fut.await;
+        let elapsed_ns = (mgrid_desim::now() - t0).as_nanos();
+        obs::count("mpi.collectives", 1);
+        obs::observe("mpi.collective_ns", elapsed_ns);
+        obs::emit(|| Event::CollectiveEnd {
+            op,
+            ranks,
+            elapsed_ns,
+        });
+        out
+    }
+
     /// Barrier (dissemination algorithm, `ceil(log2(n))` rounds).
     pub async fn barrier(&self) -> Result<(), SockError> {
+        self.timed("barrier", self.barrier_impl()).await
+    }
+
+    async fn barrier_impl(&self) -> Result<(), SockError> {
         let n = self.size();
         if n <= 1 {
             return Ok(());
@@ -442,6 +474,10 @@ impl Comm {
     /// Broadcast from `root` (binomial tree). Non-root ranks receive and
     /// return the broadcast data; the root returns its own.
     pub async fn bcast(&self, root: usize, data: Option<MpiData>) -> Result<MpiData, SockError> {
+        self.timed("bcast", self.bcast_impl(root, data)).await
+    }
+
+    async fn bcast_impl(&self, root: usize, data: Option<MpiData>) -> Result<MpiData, SockError> {
         let n = self.size();
         let tag = self.next_collective_tag();
         let vrank = (self.rank + n - root) % n;
@@ -483,6 +519,21 @@ impl Comm {
         T: Clone + 'static,
         F: Fn(&T, &T) -> T,
     {
+        self.timed("reduce", self.reduce_impl(root, value, bytes, combine))
+            .await
+    }
+
+    async fn reduce_impl<T, F>(
+        &self,
+        root: usize,
+        value: T,
+        bytes: u64,
+        combine: F,
+    ) -> Result<Option<T>, SockError>
+    where
+        T: Clone + 'static,
+        F: Fn(&T, &T) -> T,
+    {
         let n = self.size();
         let tag = self.next_collective_tag();
         let vrank = (self.rank + n - root) % n;
@@ -495,10 +546,7 @@ impl Comm {
                 if child_v < n {
                     let child = (child_v + root) % n;
                     let msg = self.recv(child, tag).await?;
-                    let other = msg
-                        .data
-                        .downcast::<T>()
-                        .expect("type mismatch in reduce");
+                    let other = msg.data.downcast::<T>().expect("type mismatch in reduce");
                     acc = combine(&acc, &other);
                 }
             }
@@ -509,28 +557,47 @@ impl Comm {
         }
         let parent_v = vrank & (vrank - 1);
         let parent = (parent_v + root) % n;
-        self.coll_send(parent, tag, MpiData::typed(bytes, acc)).await?;
+        self.coll_send(parent, tag, MpiData::typed(bytes, acc))
+            .await?;
         Ok(None)
     }
 
     /// Allreduce: reduce to rank 0, then broadcast the result.
+    ///
+    /// Instrumented as a single `allreduce` collective (the inner reduce
+    /// and bcast phases are not double-counted).
     pub async fn allreduce<T, F>(&self, value: T, bytes: u64, combine: F) -> Result<T, SockError>
     where
         T: Clone + 'static,
         F: Fn(&T, &T) -> T,
     {
-        let reduced = self.reduce(0, value, bytes, combine).await?;
-        let data = self.bcast(0, reduced.map(|v| MpiData::typed(bytes, v))).await?;
-        Ok(data
-            .downcast::<T>()
-            .expect("type mismatch in allreduce")
-            .as_ref()
-            .clone())
+        self.timed("allreduce", async {
+            let reduced = self.reduce_impl(0, value, bytes, combine).await?;
+            let data = self
+                .bcast_impl(0, reduced.map(|v| MpiData::typed(bytes, v)))
+                .await?;
+            Ok(data
+                .downcast::<T>()
+                .expect("type mismatch in allreduce")
+                .as_ref()
+                .clone())
+        })
+        .await
     }
 
     /// Gather one value per rank at `root`. Returns `Some(values)` (rank
     /// order) on the root, `None` elsewhere.
     pub async fn gather<T: Clone + 'static>(
+        &self,
+        root: usize,
+        value: T,
+        bytes: u64,
+    ) -> Result<Option<Vec<T>>, SockError> {
+        self.timed("gather", self.gather_impl(root, value, bytes))
+            .await
+    }
+
+    async fn gather_impl<T: Clone + 'static>(
         &self,
         root: usize,
         value: T,
@@ -551,9 +618,14 @@ impl Comm {
                 let v = msg.data.downcast::<T>().expect("type mismatch in gather");
                 out[msg.src] = Some(v.as_ref().clone());
             }
-            Ok(Some(out.into_iter().map(|v| v.expect("all ranks sent")).collect()))
+            Ok(Some(
+                out.into_iter()
+                    .map(|v| v.expect("all ranks sent"))
+                    .collect(),
+            ))
         } else {
-            self.coll_send(root, tag, MpiData::typed(bytes, value)).await?;
+            self.coll_send(root, tag, MpiData::typed(bytes, value))
+                .await?;
             Ok(None)
         }
     }
@@ -561,6 +633,13 @@ impl Comm {
     /// All-to-all personalized exchange: `chunks[d]` goes to rank `d`.
     /// Returns the chunks received, indexed by source rank.
     pub async fn alltoall<T: Clone + 'static>(
+        &self,
+        chunks: Vec<(T, u64)>,
+    ) -> Result<Vec<T>, SockError> {
+        self.timed("alltoall", self.alltoall_impl(chunks)).await
+    }
+
+    async fn alltoall_impl<T: Clone + 'static>(
         &self,
         chunks: Vec<(T, u64)>,
     ) -> Result<Vec<T>, SockError> {
@@ -594,6 +673,9 @@ impl Comm {
         for s in sends {
             s.await?;
         }
-        Ok(out.into_iter().map(|v| v.expect("all ranks sent")).collect())
+        Ok(out
+            .into_iter()
+            .map(|v| v.expect("all ranks sent"))
+            .collect())
     }
 }

@@ -142,7 +142,10 @@ mod tests {
         };
         assert!(any.accepts(0, 0));
         assert!(any.accepts(9, -100));
-        let any_src = Pattern { src: ANY_SOURCE, tag: 7 };
+        let any_src = Pattern {
+            src: ANY_SOURCE,
+            tag: 7,
+        };
         assert!(any_src.accepts(3, 7));
         assert!(!any_src.accepts(3, 8));
     }

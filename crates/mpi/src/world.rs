@@ -137,7 +137,9 @@ mod tests {
                         // A big (rendezvous) then a small (eager) message
                         // with the same tag: receiver must see them in
                         // send order.
-                        comm.send(1, 5, MpiData::typed(100_000, 1u32)).await.unwrap();
+                        comm.send(1, 5, MpiData::typed(100_000, 1u32))
+                            .await
+                            .unwrap();
                         comm.send(1, 5, MpiData::typed(16, 2u32)).await.unwrap();
                         vec![]
                     }
@@ -254,9 +256,7 @@ mod tests {
     #[test]
     fn gather_collects_in_rank_order() {
         let out = run_world(12, |comm| {
-            Box::pin(async move {
-                comm.gather(0, comm.rank() as u32 * 100, 4).await.unwrap()
-            })
+            Box::pin(async move { comm.gather(0, comm.rank() as u32 * 100, 4).await.unwrap() })
         });
         assert_eq!(out[0], Some(vec![0, 100, 200, 300]));
         assert_eq!(out[1], None);

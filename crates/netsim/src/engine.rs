@@ -21,7 +21,7 @@ use mgrid_desim::channel::{channel, Receiver, Sender};
 use mgrid_desim::sync::Notify;
 use mgrid_desim::time::SimDuration;
 use mgrid_desim::vclock::VirtualClock;
-use mgrid_desim::{spawn, spawn_daemon};
+use mgrid_desim::{obs, spawn, spawn_daemon, Event};
 
 use crate::packet::{Packet, PacketKind, Payload, TransferId};
 use crate::topology::{LinkId, NodeId, NodeKind, Topology};
@@ -244,6 +244,11 @@ impl Network {
         if queued + pkt.wire_bytes > cap {
             link.stats.borrow_mut().drops += 1;
             self.inner.stats.borrow_mut().packet_drops += 1;
+            obs::count("net.drops", 1);
+            obs::emit(|| Event::PacketDrop {
+                link: lid.0,
+                bytes: pkt.wire_bytes,
+            });
             return;
         }
         link.queued_bytes.set(queued + pkt.wire_bytes);
@@ -252,6 +257,16 @@ impl Network {
             let mut st = link.stats.borrow_mut();
             st.peak_queue_bytes = st.peak_queue_bytes.max(peak);
         }
+        obs::observe_with(
+            "net.queue_depth_bytes",
+            peak,
+            mgrid_desim::metrics::SIZE_BOUNDS_BYTES,
+        );
+        obs::emit(|| Event::PacketEnqueue {
+            link: lid.0,
+            bytes: pkt.wire_bytes,
+            queued_bytes: peak,
+        });
         link.queue.borrow_mut().push_back(pkt);
         link.notify.notify_one();
     }
@@ -261,7 +276,10 @@ impl Network {
         if node == pkt.dst {
             // Loopback: skip the wire, keep a small stack latency.
             let net = self.clone();
-            let d = self.inner.clock.to_physical(self.inner.params.loopback_delay);
+            let d = self
+                .inner
+                .clock
+                .to_physical(self.inner.params.loopback_delay);
             spawn(async move {
                 mgrid_desim::sleep(d).await;
                 net.handle_rx(pkt);
@@ -287,7 +305,8 @@ impl Network {
                 let pkt = link.queue.borrow_mut().pop_front();
                 match pkt {
                     Some(p) => {
-                        link.queued_bytes.set(link.queued_bytes.get() - p.wire_bytes);
+                        link.queued_bytes
+                            .set(link.queued_bytes.get() - p.wire_bytes);
                         p
                     }
                     None => {
@@ -303,6 +322,12 @@ impl Network {
                 st.tx_packets += 1;
                 st.tx_bytes += pkt.wire_bytes;
             }
+            obs::count("net.packets_tx", 1);
+            obs::count("net.bytes_tx", pkt.wire_bytes);
+            obs::emit(|| Event::PacketDequeue {
+                link: lid.0,
+                bytes: pkt.wire_bytes,
+            });
             let net = self.clone();
             let prop = self.inner.clock.to_physical(delay);
             spawn(async move {

@@ -16,6 +16,8 @@
 //! definition serves both "physical grid" baselines (identity clock) and
 //! rate-scaled MicroGrid runs.
 
+#![warn(missing_docs)]
+
 pub mod engine;
 pub mod packet;
 pub mod topology;

@@ -53,7 +53,11 @@ impl Endpoint {
         }
         impl Drop for Unregister<'_> {
             fn drop(&mut self) {
-                self.net.inner.ack_waiters.borrow_mut().remove(&self.transfer);
+                self.net
+                    .inner
+                    .ack_waiters
+                    .borrow_mut()
+                    .remove(&self.transfer);
             }
         }
         let _guard = Unregister {
@@ -164,7 +168,7 @@ mod tests {
             assert_eq!(msg.src, a);
             // One-way: tx(158B at 100Mb/s ~ 12.6us) + 50us prop.
             let elapsed = (now() - t0).as_micros();
-            assert!(elapsed >= 60 && elapsed < 200, "latency {elapsed}us");
+            assert!((60..200).contains(&elapsed), "latency {elapsed}us");
         });
         sim.run_to_completion();
     }

@@ -17,8 +17,7 @@ use microgrid::{presets, VirtualGrid};
 fn run(bench: NpbBenchmark, cpu_mult: f64) -> NpbResult {
     let mut sim = Simulation::new(17);
     let results = sim.block_on(async move {
-        let grid =
-            VirtualGrid::build(presets::cpu_scaled_cluster(cpu_mult)).expect("valid config");
+        let grid = VirtualGrid::build(presets::cpu_scaled_cluster(cpu_mult)).expect("valid config");
         grid.mpirun_all(MpiParams::default(), move |comm| {
             Box::pin(npb::run(bench, comm, NpbClass::S, None))
                 as Pin<Box<dyn Future<Output = NpbResult>>>

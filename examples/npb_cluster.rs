@@ -24,8 +24,7 @@ fn run(baseline: bool, bench: NpbBenchmark, class: NpbClass) -> NpbResult {
             VirtualGrid::build(config).expect("valid config")
         };
         grid.mpirun_all(MpiParams::default(), move |comm| {
-            Box::pin(npb::run(bench, comm, class, None))
-                as Pin<Box<dyn Future<Output = NpbResult>>>
+            Box::pin(npb::run(bench, comm, class, None)) as Pin<Box<dyn Future<Output = NpbResult>>>
         })
         .await
     });
@@ -53,7 +52,11 @@ fn main() {
             std::process::exit(2);
         }
     };
-    println!("NPB {} class {} on 4 virtual Alpha hosts", bench.name(), class.name());
+    println!(
+        "NPB {} class {} on 4 virtual Alpha hosts",
+        bench.name(),
+        class.name()
+    );
 
     let phys = run(true, bench, class);
     println!(

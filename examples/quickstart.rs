@@ -68,7 +68,9 @@ fn main() {
             .expect("client process");
         let spec = JobSpec::parse_rsl("&(executable=hello-grid)(count=3)").expect("valid RSL");
         println!("submitting {} to alpha0's gatekeeper...", spec.to_rsl());
-        let status = submit_job(&client, "alpha0", &spec).await.expect("submission");
+        let status = submit_job(&client, "alpha0", &spec)
+            .await
+            .expect("submission");
         assert_eq!(status, JobStatus::Done);
         println!(
             "job done at virtual t={:.3}s (physical sim time {:.3}s)",

@@ -21,8 +21,7 @@ fn run(bottleneck_bps: f64) -> WaveToyResult {
         let grid = VirtualGrid::build(presets::vbns_grid(bottleneck_bps)).expect("valid config");
         let wt = WaveToyConfig::small();
         grid.mpirun_all(MpiParams::default(), move |comm| {
-            Box::pin(wavetoy::run(comm, wt, None))
-                as Pin<Box<dyn Future<Output = WaveToyResult>>>
+            Box::pin(wavetoy::run(comm, wt, None)) as Pin<Box<dyn Future<Output = WaveToyResult>>>
         })
         .await
     });
@@ -31,7 +30,10 @@ fn run(bottleneck_bps: f64) -> WaveToyResult {
 
 fn main() {
     println!("WaveToy 50^3 over the vBNS: UCSD (2 ranks) <-> UIUC (2 ranks)");
-    println!("{:<16} {:>14} {:>10}", "bottleneck", "virtual time", "verified");
+    println!(
+        "{:<16} {:>14} {:>10}",
+        "bottleneck", "virtual time", "verified"
+    );
     let mut baseline = None;
     for bw in [622e6, 155e6, 10e6, 1e6] {
         let r = run(bw);

@@ -124,16 +124,17 @@ fn partitioned_network_fails_fast() {
     sim.block_on(async {
         let mut config = presets::alpha_cluster();
         // Cut alpha3's only link.
-        config.network.links.retain(|l| l.a != "alpha3" && l.b != "alpha3");
+        config
+            .network
+            .links
+            .retain(|l| l.a != "alpha3" && l.b != "alpha3");
         let grid = VirtualGrid::build(config).expect("build");
         let a0 = grid.spawn_process("alpha0", "p0").unwrap();
         let a1 = grid.spawn_process("alpha1", "p1").unwrap();
         let s0 = a0.bind(9);
         let s1 = a1.bind(9);
         // Reachable pair still works.
-        let send = spawn(async move {
-            s0.send_to("alpha1", 9, 1_000, Payload::new(7u32)).await
-        });
+        let send = spawn(async move { s0.send_to("alpha1", 9, 1_000, Payload::new(7u32)).await });
         let msg = s1.recv().await.unwrap();
         assert_eq!(*msg.payload.downcast::<u32>().unwrap(), 7);
         send.await.unwrap();

@@ -1,0 +1,210 @@
+//! Vendored, offline micro-benchmark harness.
+//!
+//! API-compatible with the subset of `criterion` the `mgrid-bench`
+//! benches use: `Criterion`, `criterion_group!` / `criterion_main!`,
+//! `benchmark_group` with `sample_size` / `throughput`, `bench_function`
+//! / `bench_with_input`, `BenchmarkId`, `Throughput`, and
+//! `Bencher::iter`. Timing is a simple mean over a fixed number of
+//! wall-clock samples — adequate for tracking regressions by eye, with
+//! none of real criterion's statistics, plotting, or state files.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from proving a value unused.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level harness handle passed to each bench function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Run a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        report(name, &b.samples, None);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// A named cluster of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Record the per-iteration work amount for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run a benchmark inside this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        report(&format!("{}/{id}", self.name), &b.samples, self.throughput);
+        self
+    }
+
+    /// Run a benchmark that receives an input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b, input);
+        report(
+            &format!("{}/{}", self.name, id.0),
+            &b.samples,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Finish the group (no-op; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// A benchmark identifier within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Identify a benchmark by its parameter value alone.
+    pub fn from_parameter(param: impl fmt::Display) -> Self {
+        BenchmarkId(param.to_string())
+    }
+
+    /// Identify a benchmark by function name and parameter.
+    pub fn new(name: impl Into<String>, param: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{param}", name.into()))
+    }
+}
+
+/// Work performed per iteration, for rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Iterations process this many abstract elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Passed to the closure given to `bench_function`; runs the timed body.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `routine`, collecting the configured number of samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up iteration, then the measured samples.
+        black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn report(name: &str, samples: &[Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{name:<50} (no samples)");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let mut line = format!("{name:<50} {:>12} /iter", format_duration(mean));
+    if let Some(t) = throughput {
+        let per_sec = |n: u64| n as f64 / mean.as_secs_f64().max(1e-12);
+        match t {
+            Throughput::Elements(n) => {
+                line.push_str(&format!("  {:>12.0} elem/s", per_sec(n)));
+            }
+            Throughput::Bytes(n) => {
+                line.push_str(&format!("  {:>12.0} B/s", per_sec(n)));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

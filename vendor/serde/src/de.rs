@@ -1,0 +1,276 @@
+//! Deserialization half of the vendored serde subset.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+use crate::ser::Content;
+
+/// Errors a deserializer can report; mirrors `serde::de::Error::custom`.
+pub trait Error: Sized {
+    /// Build an error from any displayable message.
+    fn custom<T: fmt::Display>(msg: T) -> Self;
+}
+
+/// A data format that can produce a [`Content`] tree.
+pub trait Deserializer<'de>: Sized {
+    /// Error type produced on malformed input.
+    type Error: Error;
+
+    /// Consume the deserializer, yielding the decoded value tree.
+    fn take_content(self) -> Result<Content, Self::Error>;
+}
+
+/// A value constructible from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserialize `Self`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Marker for values deserializable without borrowing from the input.
+///
+/// Everything in this owned-`Content` model qualifies; the blanket impl
+/// keeps call sites (`serde_json::from_str::<T>`) identical to real serde.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// A string-message error used when deserializing out of a [`Content`] tree.
+#[derive(Debug, Clone)]
+pub struct SimpleError(pub String);
+
+impl fmt::Display for SimpleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for SimpleError {}
+
+impl Error for SimpleError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        SimpleError(msg.to_string())
+    }
+}
+
+/// A deserializer whose input *is* an already-decoded [`Content`] tree.
+pub struct ContentDeserializer(pub Content);
+
+impl<'de> Deserializer<'de> for ContentDeserializer {
+    type Error = SimpleError;
+
+    fn take_content(self) -> Result<Content, SimpleError> {
+        Ok(self.0)
+    }
+}
+
+/// Deserialize a value out of a decoded [`Content`] tree.
+pub fn from_content<T: DeserializeOwned>(content: Content) -> Result<T, SimpleError> {
+    T::deserialize(ContentDeserializer(content))
+}
+
+fn type_error<E: Error>(expected: &str, got: &Content) -> E {
+    E::custom(format!("expected {expected}, got {got:?}"))
+}
+
+fn content_u64<E: Error>(content: Content) -> Result<u64, E> {
+    match content {
+        Content::U64(v) => Ok(v),
+        Content::I64(v) if v >= 0 => Ok(v as u64),
+        Content::F64(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => Ok(v as u64),
+        other => Err(type_error("unsigned integer", &other)),
+    }
+}
+
+fn content_i64<E: Error>(content: Content) -> Result<i64, E> {
+    match content {
+        Content::I64(v) => Ok(v),
+        Content::U64(v) if v <= i64::MAX as u64 => Ok(v as i64),
+        Content::F64(v) if v.fract() == 0.0 && v.abs() <= i64::MAX as f64 => Ok(v as i64),
+        other => Err(type_error("signed integer", &other)),
+    }
+}
+
+macro_rules! impl_deserialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = content_u64::<D::Error>(d.take_content()?)?;
+                <$t>::try_from(v).map_err(|_| D::Error::custom(format!(
+                    "integer {v} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_deserialize_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_deserialize_signed {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = content_i64::<D::Error>(d.take_content()?)?;
+                <$t>::try_from(v).map_err(|_| D::Error::custom(format!(
+                    "integer {v} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_deserialize_signed!(i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_content()? {
+            Content::F64(v) => Ok(v),
+            Content::U64(v) => Ok(v as f64),
+            Content::I64(v) => Ok(v as f64),
+            other => Err(type_error("number", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        f64::deserialize(d).map(|v| v as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_content()? {
+            Content::Bool(v) => Ok(v),
+            other => Err(type_error("bool", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_content()? {
+            Content::Str(s) => Ok(s),
+            other => Err(type_error("string", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(d)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(D::Error::custom("expected single-character string")),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_content()? {
+            Content::Null => Ok(()),
+            other => Err(type_error("null", &other)),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_content()? {
+            Content::Null => Ok(None),
+            other => from_content(other).map(Some).map_err(D::Error::custom),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_content()? {
+            Content::Seq(items) => items
+                .into_iter()
+                .map(|c| from_content(c).map_err(D::Error::custom))
+                .collect(),
+            other => Err(type_error("array", &other)),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        T::deserialize(d).map(Box::new)
+    }
+}
+
+macro_rules! impl_deserialize_tuple {
+    ($(($len:literal, $($name:ident),+))*) => {$(
+        impl<'de, $($name: DeserializeOwned),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<__D: Deserializer<'de>>(d: __D) -> Result<Self, __D::Error> {
+                match d.take_content()? {
+                    Content::Seq(items) if items.len() == $len => {
+                        let mut it = items.into_iter();
+                        Ok(($(
+                            from_content::<$name>(it.next().expect("length checked"))
+                                .map_err(__D::Error::custom)?,
+                        )+))
+                    }
+                    other => Err(type_error(concat!("array of length ", $len), &other)),
+                }
+            }
+        }
+    )*};
+}
+impl_deserialize_tuple! {
+    (1, A)
+    (2, A, B)
+    (3, A, B, C)
+    (4, A, B, C, D)
+}
+
+fn parse_key<K: DeserializeOwned, E: Error>(key: String) -> Result<K, E> {
+    // Map keys arrive as JSON strings; retry as an integer for numeric keys.
+    match from_content(Content::Str(key.clone())) {
+        Ok(k) => Ok(k),
+        Err(_) => match key.parse::<u64>() {
+            Ok(n) => from_content(Content::U64(n)).map_err(E::custom),
+            Err(_) => Err(E::custom(format!("unsupported map key {key:?}"))),
+        },
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for BTreeMap<K, V>
+where
+    K: DeserializeOwned + Ord,
+    V: DeserializeOwned,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_content()? {
+            Content::Map(entries) => entries
+                .into_iter()
+                .map(|(k, v)| {
+                    Ok((
+                        parse_key::<K, D::Error>(k)?,
+                        from_content(v).map_err(D::Error::custom)?,
+                    ))
+                })
+                .collect(),
+            other => Err(type_error("object", &other)),
+        }
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for HashMap<K, V>
+where
+    K: DeserializeOwned + std::hash::Hash + Eq,
+    V: DeserializeOwned,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_content()? {
+            Content::Map(entries) => entries
+                .into_iter()
+                .map(|(k, v)| {
+                    Ok((
+                        parse_key::<K, D::Error>(k)?,
+                        from_content(v).map_err(D::Error::custom)?,
+                    ))
+                })
+                .collect(),
+            other => Err(type_error("object", &other)),
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Vendored, offline subset of the `serde` serialization framework.
+//!
+//! This workspace builds in environments with no access to crates.io, so
+//! the handful of external dependencies are vendored as minimal,
+//! API-compatible local crates (see `vendor/` in the repository root).
+//! This crate covers exactly the surface MicroGrid-rs uses:
+//!
+//! - `Serialize` / `Deserialize` traits with the same signatures as the
+//!   real crate, so hand-written impls (e.g. `SimTime` in `mgrid-desim`)
+//!   compile unchanged;
+//! - `#[derive(Serialize, Deserialize)]` for non-generic, attribute-free
+//!   named structs, tuple structs, and enums (externally tagged);
+//! - a self-describing [`ser::Content`] tree as the data model, which
+//!   the vendored `serde_json` reads and writes.
+//!
+//! It is **not** a general serde replacement: zero-copy deserialization,
+//! serde attributes, and generic impls are intentionally out of scope.
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Support code for the derive macros. Not a stable API.
+#[doc(hidden)]
+pub mod __private {
+    pub use crate::de::{from_content, ContentDeserializer, SimpleError};
+    pub use crate::ser::{to_content, Content};
+
+    /// Remove `name` from a decoded JSON object and deserialize it.
+    ///
+    /// Missing fields decode from `Content::Null`, which lets `Option`
+    /// fields default to `None` without any attribute support.
+    pub fn take_field<T: crate::de::DeserializeOwned>(
+        map: &mut Vec<(String, Content)>,
+        name: &str,
+    ) -> Result<T, String> {
+        let content = match map.iter().position(|(k, _)| k == name) {
+            Some(i) => map.remove(i).1,
+            None => Content::Null,
+        };
+        from_content(content).map_err(|e| format!("field `{name}`: {e}"))
+    }
+}

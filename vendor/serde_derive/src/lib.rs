@@ -1,0 +1,473 @@
+//! Vendored `#[derive(Serialize, Deserialize)]` macros.
+//!
+//! Implemented directly on `proc_macro` token trees (no `syn`/`quote`,
+//! which are unavailable offline). Supports exactly what MicroGrid-rs
+//! derives on: non-generic named structs, tuple structs, and enums with
+//! unit / tuple / named-field variants, with no serde attributes. Enums
+//! use the externally-tagged representation, matching real serde's
+//! default, so JSON produced before vendoring parses identically.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, VariantShape)>,
+    },
+}
+
+/// Derive the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    gen_serialize(&shape)
+        .parse()
+        .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+/// Derive the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    gen_deserialize(&shape)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl failed to parse")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic type `{name}` is not supported by the vendored derive");
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct { name },
+            other => panic!("serde_derive: unexpected token after struct name: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde_derive: unexpected token after enum name: {other:?}"),
+        },
+        other => panic!("serde_derive: expected `struct` or `enum`, found `{other}`"),
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            // `#[...]` attribute (doc comments included).
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                } else {
+                    panic!("serde_derive: stray `#` in input");
+                }
+            }
+            // `pub` optionally followed by `(crate)` etc.
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive: expected identifier, found {other:?}"),
+    }
+}
+
+/// Skip a type (or any token run) until a comma at angle-bracket depth 0.
+fn skip_until_top_level_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        fields.push(expect_ident(&tokens, &mut i));
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field name, found {other:?}"),
+        }
+        skip_until_top_level_comma(&tokens, &mut i);
+        i += 1; // past the comma (or end)
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut arity = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        arity += 1;
+        skip_until_top_level_comma(&tokens, &mut i);
+        i += 1;
+    }
+    arity
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, VariantShape)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        variants.push((name, shape));
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                panic!("serde_derive: explicit enum discriminants are not supported")
+            }
+            other => panic!("serde_derive: unexpected token after variant: {other:?}"),
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+const CONTENT: &str = "::serde::__private::Content";
+const TO_CONTENT: &str = "::serde::__private::to_content";
+
+fn gen_serialize(shape: &Shape) -> String {
+    let (name, body) = match shape {
+        Shape::NamedStruct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "__map.push((::std::string::String::from(\"{f}\"), {TO_CONTENT}(&self.{f})));\n"
+                ));
+            }
+            (
+                name,
+                format!(
+                    "let mut __map = ::std::vec::Vec::new();\n{pushes}\
+                     __serializer.serialize_content({CONTENT}::Map(__map))"
+                ),
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => (
+            name,
+            format!("__serializer.serialize_content({TO_CONTENT}(&self.0))"),
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("{TO_CONTENT}(&self.{i})"))
+                .collect();
+            (
+                name,
+                format!(
+                    "__serializer.serialize_content({CONTENT}::Seq(vec![{}]))",
+                    items.join(", ")
+                ),
+            )
+        }
+        Shape::UnitStruct { name } => (
+            name,
+            format!("__serializer.serialize_content({CONTENT}::Null)"),
+        ),
+        Shape::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (vname, vshape) in variants {
+                match vshape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => \
+                         {CONTENT}::Str(::std::string::String::from(\"{vname}\")),\n"
+                    )),
+                    VariantShape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => {CONTENT}::Map(vec![(\
+                         ::std::string::String::from(\"{vname}\"), {TO_CONTENT}(__f0))]),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> =
+                            binds.iter().map(|b| format!("{TO_CONTENT}({b})")).collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => {CONTENT}::Map(vec![(\
+                             ::std::string::String::from(\"{vname}\"), \
+                             {CONTENT}::Seq(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| format!("{f}: __f_{f}")).collect();
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), {TO_CONTENT}(__f_{f}))"
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {CONTENT}::Map(vec![(\
+                             ::std::string::String::from(\"{vname}\"), \
+                             {CONTENT}::Map(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            (
+                name,
+                format!(
+                    "let __content = match self {{\n{arms}}};\n\
+                     __serializer.serialize_content(__content)"
+                ),
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S) \
+                 -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    const CUSTOM: &str = "<__D::Error as ::serde::de::Error>::custom";
+    const FROM_CONTENT: &str = "::serde::__private::from_content";
+    const TAKE_FIELD: &str = "::serde::__private::take_field";
+
+    let (name, body) = match shape {
+        Shape::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: {TAKE_FIELD}(&mut __map, \"{f}\").map_err({CUSTOM})?"))
+                .collect();
+            (
+                name,
+                format!(
+                    "match __content {{\n\
+                         {CONTENT}::Map(mut __map) => \
+                             ::core::result::Result::Ok({name} {{ {} }}),\n\
+                         __other => ::core::result::Result::Err({CUSTOM}(\
+                             format!(\"expected object for struct {name}, got {{__other:?}}\"))),\n\
+                     }}",
+                    inits.join(", ")
+                ),
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => (
+            name,
+            format!(
+                "::core::result::Result::Ok({name}(\
+                 {FROM_CONTENT}(__content).map_err({CUSTOM})?))"
+            ),
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let pulls: Vec<String> = (0..*arity)
+                .map(|_| {
+                    format!(
+                        "{FROM_CONTENT}(__it.next().expect(\"length checked\"))\
+                         .map_err({CUSTOM})?"
+                    )
+                })
+                .collect();
+            (
+                name,
+                format!(
+                    "match __content {{\n\
+                         {CONTENT}::Seq(__seq) if __seq.len() == {arity} => {{\n\
+                             let mut __it = __seq.into_iter();\n\
+                             ::core::result::Result::Ok({name}({}))\n\
+                         }}\n\
+                         __other => ::core::result::Result::Err({CUSTOM}(\
+                             format!(\"expected array of {arity} for {name}, got {{__other:?}}\"))),\n\
+                     }}",
+                    pulls.join(", ")
+                ),
+            )
+        }
+        Shape::UnitStruct { name } => (
+            name,
+            format!("{{ let _ = __content; ::core::result::Result::Ok({name}) }}"),
+        ),
+        Shape::Enum { name, variants } => {
+            let mut str_arms = String::new();
+            let mut map_arms = String::new();
+            for (vname, vshape) in variants {
+                match vshape {
+                    VariantShape::Unit => str_arms.push_str(&format!(
+                        "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    VariantShape::Tuple(1) => map_arms.push_str(&format!(
+                        "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}(\
+                         {FROM_CONTENT}(__inner).map_err({CUSTOM})?)),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let pulls: Vec<String> = (0..*n)
+                            .map(|_| {
+                                format!(
+                                    "{FROM_CONTENT}(__it.next().expect(\"length checked\"))\
+                                     .map_err({CUSTOM})?"
+                                )
+                            })
+                            .collect();
+                        map_arms.push_str(&format!(
+                            "\"{vname}\" => match __inner {{\n\
+                                 {CONTENT}::Seq(__seq) if __seq.len() == {n} => {{\n\
+                                     let mut __it = __seq.into_iter();\n\
+                                     ::core::result::Result::Ok({name}::{vname}({}))\n\
+                                 }}\n\
+                                 __other => ::core::result::Result::Err({CUSTOM}(\
+                                     format!(\"expected array of {n} for variant \
+                                     {name}::{vname}, got {{__other:?}}\"))),\n\
+                             }},\n",
+                            pulls.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!("{f}: {TAKE_FIELD}(&mut __map, \"{f}\").map_err({CUSTOM})?")
+                            })
+                            .collect();
+                        map_arms.push_str(&format!(
+                            "\"{vname}\" => match __inner {{\n\
+                                 {CONTENT}::Map(mut __map) => \
+                                     ::core::result::Result::Ok({name}::{vname} {{ {} }}),\n\
+                                 __other => ::core::result::Result::Err({CUSTOM}(\
+                                     format!(\"expected object for variant \
+                                     {name}::{vname}, got {{__other:?}}\"))),\n\
+                             }},\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            (
+                name,
+                format!(
+                    "match __content {{\n\
+                         {CONTENT}::Str(__tag) => match __tag.as_str() {{\n\
+                             {str_arms}\
+                             __other => ::core::result::Result::Err({CUSTOM}(\
+                                 format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                         }},\n\
+                         {CONTENT}::Map(__m) if __m.len() == 1 => {{\n\
+                             let (__tag, __inner) = __m.into_iter().next().expect(\"len 1\");\n\
+                             let _ = &__inner;\n\
+                             match __tag.as_str() {{\n\
+                                 {map_arms}\
+                                 __other => ::core::result::Result::Err({CUSTOM}(\
+                                     format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                             }}\n\
+                         }}\n\
+                         __other => ::core::result::Result::Err({CUSTOM}(\
+                             format!(\"expected string or single-key object for enum {name}, \
+                             got {{__other:?}}\"))),\n\
+                     }}"
+                ),
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D) \
+                 -> ::core::result::Result<Self, __D::Error> {{\n\
+                 let __content = __deserializer.take_content()?;\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
