@@ -23,5 +23,13 @@ fmt:
 figures:
     MGRID_FAST=1 cargo run --release -p mgrid-bench --bin repro -- all
 
+# Criterion microbenches: engine throughput + per-figure regenerations.
 bench:
     cargo bench --workspace
+
+# The tracked performance baseline: run the criterion engine benches,
+# then measure events/sec, packets/sec, and the serial full-scale figure
+# sweep, updating BENCH_core.json (existing baseline preserved).
+perf:
+    cargo bench -p mgrid-bench --bench engine
+    cargo run --release -p mgrid-bench --bin perf -- --out BENCH_core.json

@@ -1,0 +1,311 @@
+//! `perf` — the tracked performance baseline of the simulation core.
+//!
+//! ```text
+//! perf                          # measure, print a summary table
+//! perf --out BENCH_core.json    # also write/update the tracked JSON
+//! perf --set-baseline           # rewrite the baseline to this run
+//! MGRID_FAST=1 perf             # shrunken figure sweep (smoke only)
+//! ```
+//!
+//! Three sections, all single-threaded for machine-to-machine
+//! comparability:
+//!
+//! 1. **executor** — desim microbenches: timer events/sec (the discrete
+//!    event loop itself) and channel messages/sec (waker churn).
+//! 2. **network** — packets/sec and bytes/sec through the netsim packet
+//!    path, read from the simulation's own `net.packets_tx` counter.
+//! 3. **figures** — wall-clock per regenerated paper figure, run
+//!    serially, plus the total.
+//!
+//! When `--out FILE` names an existing file with a `baseline` section,
+//! that baseline is preserved and the new run is written as `current`
+//! with before/after speedup ratios; `--set-baseline` re-anchors it.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+
+use mgrid_bench::experiments::{apps, micro, network, npb, scale};
+use mgrid_bench::runner::fast_mode;
+use microgrid::desim::time::SimDuration;
+use microgrid::desim::vclock::VirtualClock;
+use microgrid::desim::{sleep, spawn, Simulation};
+use microgrid::netsim::{LinkSpec, NetParams, Network, Payload, TopologyBuilder};
+use microgrid::Report;
+use serde::{Deserialize, Serialize};
+
+#[derive(Serialize, Deserialize, Clone, Default)]
+struct Measurements {
+    /// Simulated timer events processed per wall second.
+    timer_events_per_sec: f64,
+    /// Channel messages moved per wall second.
+    channel_msgs_per_sec: f64,
+    /// Simulated packets transmitted per wall second.
+    packets_per_sec: f64,
+    /// Simulated wire bytes transmitted per wall second.
+    bytes_per_sec: f64,
+    /// Wall milliseconds per regenerated figure (serial).
+    figures_ms: BTreeMap<String, f64>,
+    /// Total wall milliseconds of the figure sweep.
+    repro_total_ms: f64,
+}
+
+#[derive(Serialize, Deserialize, Clone, Default)]
+struct Speedup {
+    /// Baseline total figure time / current total figure time.
+    repro_total: f64,
+    /// Current timer events/sec / baseline timer events/sec.
+    timer_events: f64,
+    /// Current packets/sec / baseline packets/sec.
+    packets: f64,
+}
+
+#[derive(Serialize, Deserialize, Default)]
+struct BenchFile {
+    schema: String,
+    /// `1` when the figure sweep ran with `MGRID_FAST=1` (not comparable
+    /// to full-scale baselines).
+    fast_mode: bool,
+    baseline: Measurements,
+    current: Measurements,
+    speedup: Speedup,
+}
+
+fn bench_timer_events() -> f64 {
+    let n = 200_000u64;
+    let t0 = std::time::Instant::now();
+    let mut sim = Simulation::new(1);
+    sim.spawn(async move {
+        for i in 0..n {
+            sleep(SimDuration::from_nanos(i % 97 + 1)).await;
+        }
+    });
+    sim.run();
+    n as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn bench_channel_msgs() -> f64 {
+    let n = 200_000u64;
+    let t0 = std::time::Instant::now();
+    let mut sim = Simulation::new(1);
+    sim.spawn(async move {
+        let (tx, rx) = microgrid::desim::channel::channel();
+        spawn(async move {
+            for i in 0..n {
+                tx.send(i).await.unwrap();
+            }
+        });
+        let mut sum = 0u64;
+        while let Ok(v) = rx.recv().await {
+            sum += v;
+        }
+        assert_eq!(sum, n * (n - 1) / 2);
+    });
+    sim.run();
+    n as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn bench_packets() -> (f64, f64) {
+    let bytes = 64_000_000u64;
+    let t0 = std::time::Instant::now();
+    let mut sim = Simulation::new(3);
+    let (packets, wire_bytes) = sim.block_on(async move {
+        let mut tb = TopologyBuilder::new();
+        let a = tb.host("a");
+        let z = tb.host("z");
+        tb.link(a, z, LinkSpec::fast_ethernet());
+        let net = Network::new(tb.build(), VirtualClock::identity(), NetParams::default());
+        let rx = net.endpoint(z).bind(1);
+        spawn({
+            let ep = net.endpoint(a);
+            async move {
+                ep.send(z, 1, 1, bytes, Payload::empty()).await.unwrap();
+            }
+        });
+        rx.recv().await.unwrap();
+        let m = net.stats();
+        let mut pk = 0u64;
+        let mut by = 0u64;
+        for lid in 0..net.topology().link_count() {
+            let st = net.link_stats(microgrid::netsim::LinkId(lid));
+            pk += st.tx_packets;
+            by += st.tx_bytes;
+        }
+        assert_eq!(m.messages_delivered, 1);
+        (pk, by)
+    });
+    let secs = t0.elapsed().as_secs_f64();
+    (packets as f64 / secs, wire_bytes as f64 / secs)
+}
+
+struct Figure {
+    id: &'static str,
+    run: fn() -> Report,
+}
+
+/// The same experiments the `repro` binary regenerates, timed serially.
+fn figures() -> Vec<Figure> {
+    vec![
+        Figure {
+            id: "fig5",
+            run: micro::fig5_memory,
+        },
+        Figure {
+            id: "fig6",
+            run: || micro::fig6_cpu(SimDuration::from_secs(if fast_mode() { 3 } else { 10 })),
+        },
+        Figure {
+            id: "fig7",
+            run: || micro::fig7_quanta(if fast_mode() { 1000 } else { 9000 }),
+        },
+        Figure {
+            id: "fig8",
+            run: || network::fig8_network(if fast_mode() { 4 } else { 20 }),
+        },
+        Figure {
+            id: "fig9",
+            run: npb::fig9_configs,
+        },
+        Figure {
+            id: "fig10",
+            run: npb::fig10_npb,
+        },
+        Figure {
+            id: "fig11",
+            run: npb::fig11_quanta_sweep,
+        },
+        Figure {
+            id: "fig12",
+            run: npb::fig12_cpu_scaling,
+        },
+        Figure {
+            id: "fig14",
+            run: npb::fig14_vbns,
+        },
+        Figure {
+            id: "fig15",
+            run: npb::fig15_emulation_rates,
+        },
+        Figure {
+            id: "fig16",
+            run: apps::fig16_cactus,
+        },
+        Figure {
+            id: "fig17",
+            run: apps::fig17_autopilot,
+        },
+        Figure {
+            id: "scale",
+            run: scale::scale_study,
+        },
+    ]
+}
+
+fn measure() -> Measurements {
+    let mut m = Measurements::default();
+    eprintln!("executor: timer events ...");
+    m.timer_events_per_sec = bench_timer_events();
+    eprintln!("executor: channel messages ...");
+    m.channel_msgs_per_sec = bench_channel_msgs();
+    eprintln!("network: packet path ...");
+    let (pps, bps) = bench_packets();
+    m.packets_per_sec = pps;
+    m.bytes_per_sec = bps;
+    for f in figures() {
+        eprintln!("figure {} ...", f.id);
+        let t0 = std::time::Instant::now();
+        let _ = (f.run)();
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        m.figures_ms.insert(f.id.to_string(), ms);
+        m.repro_total_ms += ms;
+    }
+    m
+}
+
+fn ratio(num: f64, den: f64) -> f64 {
+    if den > 0.0 {
+        num / den
+    } else {
+        0.0
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out: Option<String> = None;
+    let mut set_baseline = false;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => {
+                out = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a file path");
+                    std::process::exit(2);
+                }));
+            }
+            "--set-baseline" => set_baseline = true,
+            "--help" | "-h" => {
+                println!("usage: perf [--out FILE] [--set-baseline]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let current = measure();
+
+    // Preserve an existing baseline unless re-anchoring was requested.
+    let baseline = out
+        .as_ref()
+        .filter(|_| !set_baseline)
+        .and_then(|p| std::fs::read_to_string(p).ok())
+        .and_then(|s| serde_json::from_str::<BenchFile>(&s).ok())
+        .map(|f| f.baseline)
+        .filter(|b| b.repro_total_ms > 0.0)
+        .unwrap_or_else(|| current.clone());
+
+    let file = BenchFile {
+        schema: "mgrid-bench-core/1".into(),
+        fast_mode: fast_mode(),
+        speedup: Speedup {
+            repro_total: ratio(baseline.repro_total_ms, current.repro_total_ms),
+            timer_events: ratio(current.timer_events_per_sec, baseline.timer_events_per_sec),
+            packets: ratio(current.packets_per_sec, baseline.packets_per_sec),
+        },
+        baseline,
+        current,
+    };
+
+    println!("== simulation core performance ==");
+    println!(
+        "timer events/sec   {:>14.0}  ({:.2}x baseline)",
+        file.current.timer_events_per_sec, file.speedup.timer_events
+    );
+    println!(
+        "channel msgs/sec   {:>14.0}",
+        file.current.channel_msgs_per_sec
+    );
+    println!(
+        "packets/sec        {:>14.0}  ({:.2}x baseline)",
+        file.current.packets_per_sec, file.speedup.packets
+    );
+    println!("wire bytes/sec     {:>14.0}", file.current.bytes_per_sec);
+    println!("-- figure sweep (serial) --");
+    for (id, ms) in &file.current.figures_ms {
+        println!("{id:<8} {ms:>12.1} ms");
+    }
+    println!(
+        "total    {:>12.1} ms  ({:.2}x baseline)",
+        file.current.repro_total_ms, file.speedup.repro_total
+    );
+
+    if let Some(path) = out {
+        let json = serde_json::to_string_pretty(&file).expect("serialize bench file");
+        let mut f = std::fs::File::create(&path).expect("create bench file");
+        f.write_all(json.as_bytes()).expect("write bench file");
+        f.write_all(b"\n").expect("write bench file");
+        println!("wrote {path}");
+    }
+}

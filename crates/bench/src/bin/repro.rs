@@ -5,13 +5,24 @@
 //! repro fig5 fig6 fig11     # selected figures
 //! repro --json out/ fig10   # also write JSON reports into out/
 //! MGRID_FAST=1 repro all    # shrunken runs (class S, fewer points)
+//! MGRID_REPRO_THREADS=1 repro all   # force serial regeneration
 //! ```
+//!
+//! Figures regenerate on a scoped thread pool — every simulation is
+//! single-threaded and self-contained, so whole figures parallelize
+//! freely. Output stays byte-identical to a serial run: workers hand
+//! finished figures to the main thread, which prints them in canonical
+//! figure order through a reorder buffer (per-figure wall times vary
+//! with load, nothing else does).
 
+use std::collections::BTreeMap;
 use std::io::Write;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use mgrid_bench::experiments::{apps, micro, network, npb, scale};
-use mgrid_bench::runner::{fast_mode, take_metrics};
+use mgrid_bench::runner::{fast_mode, repro_threads, take_metrics};
 use microgrid::desim::time::SimDuration;
+use microgrid::desim::MetricsSnapshot;
 use microgrid::Report;
 
 struct Figure {
@@ -133,37 +144,102 @@ fn main() {
     if fast_mode() {
         println!("(MGRID_FAST=1: shrunken experiment parameters)\n");
     }
-    for f in figs {
-        if !all && !wanted.iter().any(|w| w == f.id) {
-            continue;
+    let selected: Vec<Figure> = figs
+        .into_iter()
+        .filter(|f| all || wanted.iter().any(|w| w == f.id))
+        .collect();
+    let workers = repro_threads().min(selected.len().max(1));
+    if workers > 1 {
+        println!(
+            "(regenerating {} figures on {workers} threads)\n",
+            selected.len()
+        );
+    }
+
+    struct Done {
+        id: &'static str,
+        report: Report,
+        metrics: MetricsSnapshot,
+        secs: f64,
+    }
+
+    // One figure per worker at a time; each simulation stays on its
+    // thread, so the runner's thread-local metrics accumulator captures
+    // exactly that figure's runs.
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, Done)>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let selected = &selected;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= selected.len() {
+                    break;
+                }
+                let f = &selected[i];
+                let t0 = std::time::Instant::now();
+                let mut report = (f.run)();
+                let secs = t0.elapsed().as_secs_f64();
+                // All runner-driven simulations since this worker's
+                // previous figure fold into this figure's snapshot.
+                let metrics = take_metrics();
+                report.attach_metrics(metrics.clone());
+                let done = Done {
+                    id: f.id,
+                    report,
+                    metrics,
+                    secs,
+                };
+                if tx.send((i, done)).is_err() {
+                    break;
+                }
+            });
         }
-        let t0 = std::time::Instant::now();
-        let mut report = (f.run)();
-        let dt = t0.elapsed().as_secs_f64();
-        // All runner-driven simulations since the previous figure fold
-        // into this figure's snapshot.
-        let metrics = take_metrics();
-        report.attach_metrics(metrics.clone());
-        println!("{}", report.to_table());
-        println!("({} regenerated in {dt:.1}s wall)\n", f.id);
-        if let Some(dir) = &json_dir {
-            let path = format!("{dir}/{}.json", f.id);
-            let mut file = std::fs::File::create(&path).expect("create report file");
-            file.write_all(report.to_json().as_bytes())
-                .expect("write report");
-            println!("wrote {path}");
-            if !metrics.is_empty() {
-                let mpath = format!("{dir}/{}.metrics.json", f.id);
-                let mut mfile = std::fs::File::create(&mpath).expect("create metrics file");
-                mfile
-                    .write_all(
-                        serde_json::to_string_pretty(&metrics)
-                            .expect("metrics serialize")
-                            .as_bytes(),
-                    )
-                    .expect("write metrics");
-                println!("wrote {mpath}");
+        drop(tx);
+
+        // Reorder buffer: print in canonical figure order as results land.
+        let mut pending: BTreeMap<usize, Done> = BTreeMap::new();
+        let mut next_print = 0usize;
+        for (i, done) in rx {
+            pending.insert(i, done);
+            while let Some(done) = pending.remove(&next_print) {
+                emit_figure(&done.report, &done.metrics, done.id, done.secs, &json_dir);
+                next_print += 1;
             }
+        }
+        assert!(pending.is_empty(), "figure results lost");
+    });
+}
+
+/// Print one regenerated figure and, if requested, write its JSON files.
+fn emit_figure(
+    report: &Report,
+    metrics: &MetricsSnapshot,
+    id: &str,
+    secs: f64,
+    json_dir: &Option<String>,
+) {
+    println!("{}", report.to_table());
+    println!("({id} regenerated in {secs:.1}s wall)\n");
+    if let Some(dir) = json_dir {
+        let path = format!("{dir}/{id}.json");
+        let mut file = std::fs::File::create(&path).expect("create report file");
+        file.write_all(report.to_json().as_bytes())
+            .expect("write report");
+        println!("wrote {path}");
+        if !metrics.is_empty() {
+            let mpath = format!("{dir}/{id}.metrics.json");
+            let mut mfile = std::fs::File::create(&mpath).expect("create metrics file");
+            mfile
+                .write_all(
+                    serde_json::to_string_pretty(metrics)
+                        .expect("metrics serialize")
+                        .as_bytes(),
+                )
+                .expect("write metrics");
+            println!("wrote {mpath}");
         }
     }
 }

@@ -140,6 +140,17 @@ pub fn fast_mode() -> bool {
         .unwrap_or(false)
 }
 
+/// Worker threads for parallel figure regeneration: `MGRID_REPRO_THREADS`
+/// if set (minimum 1), otherwise the machine's available parallelism.
+pub fn repro_threads() -> usize {
+    if let Ok(v) = std::env::var("MGRID_REPRO_THREADS") {
+        return v.parse::<usize>().ok().filter(|&n| n >= 1).unwrap_or(1);
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 /// Class A normally, class S in fast mode.
 pub fn class_for_run() -> NpbClass {
     if fast_mode() {

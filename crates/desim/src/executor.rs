@@ -8,33 +8,113 @@
 //!
 //! The executor is deliberately `!Send`: a simulation lives on one thread
 //! and uses `Rc`/`RefCell` internally. Parallelism across *simulations*
-//! (e.g. Criterion benches sweeping parameters) is still possible because
-//! each `Simulation` is self-contained.
+//! (e.g. the parallel figure regeneration in `mgrid-bench`) is still
+//! possible because each `Simulation` is self-contained.
+//!
+//! ## Storage layout (hot-path design)
+//!
+//! Everything per-event is slab-indexed rather than hash-mapped:
+//!
+//! * **Tasks** live in a generation-tagged slab (`Vec<TaskSlot>` + free
+//!   list). A [`TaskId`] packs `slot | generation`, so a stale wake for a
+//!   completed task is rejected by a generation compare instead of a hash
+//!   probe, and spawn/complete never allocate map nodes.
+//! * **Task wakers** are created once per task and cached in its slot;
+//!   polling reuses the cached waker (an `Arc` clone) instead of
+//!   allocating a fresh waker per poll.
+//! * **Timers** keep their tie-break-by-registration-sequence contract in
+//!   the binary heap, but waker storage is a generation-tagged slab
+//!   addressed by [`TimerHandle`]; re-arming an existing timer uses
+//!   [`Waker::will_wake`] to skip redundant clones.
+//! * The **ready queue** is a plain `VecDeque` behind an owner-thread
+//!   assertion instead of a `Mutex`: wakers are nominally `Send + Sync`,
+//!   but every task of a `!Send` simulation runs on the thread that owns
+//!   it, so the queue is never actually shared. The assertion turns any
+//!   future violation of that invariant into a panic rather than a race.
 
-use std::cell::{Cell, RefCell};
+use std::cell::{Cell, RefCell, UnsafeCell};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::task::{Context, Poll, Wake, Waker};
 
 use crate::obs::Obs;
 use crate::rng::{SharedRng, SimRng};
 use crate::time::{SimDuration, SimTime};
 
-/// Identifier of a spawned task.
+/// Identifier of a spawned task: a slab slot in the low 32 bits and the
+/// slot's generation in the high 32 bits. Identifiers are unique within a
+/// simulation for its whole lifetime; comparing ids from different
+/// simulations is meaningless.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub struct TaskId(u64);
 
+impl TaskId {
+    fn new(slot: u32, gen: u32) -> Self {
+        TaskId((u64::from(gen) << 32) | u64::from(slot))
+    }
+    fn slot(self) -> usize {
+        (self.0 & 0xffff_ffff) as usize
+    }
+    fn gen(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
+
 type BoxedFuture = Pin<Box<dyn Future<Output = ()>>>;
 
-/// Wakers must be `Send + Sync`, so the ready queue they push into is the
-/// one `Arc<Mutex<..>>` in the engine. It is never actually contended: the
-/// executor and all tasks run on one thread.
+/// The executor's run queue, shared with every task waker.
+///
+/// Wakers must be `Send + Sync` by contract, but a simulation is `!Send`
+/// and all of its tasks run on the owning thread, so the queue is never
+/// actually accessed concurrently. Instead of paying an uncontended
+/// `Mutex` lock/unlock on every wake and every poll, accesses assert the
+/// owner thread and then use the queue directly; a waker smuggled to
+/// another thread panics instead of racing.
 struct ReadyQueue {
-    queue: Mutex<VecDeque<TaskId>>,
+    owner: std::thread::ThreadId,
+    queue: UnsafeCell<VecDeque<TaskId>>,
+}
+
+// SAFETY: all accesses go through `with`, which panics unless running on
+// the thread that created the queue, so the UnsafeCell contents are only
+// ever touched single-threaded.
+unsafe impl Send for ReadyQueue {}
+unsafe impl Sync for ReadyQueue {}
+
+impl ReadyQueue {
+    fn new() -> Arc<Self> {
+        Arc::new(ReadyQueue {
+            owner: std::thread::current().id(),
+            queue: UnsafeCell::new(VecDeque::with_capacity(64)),
+        })
+    }
+
+    #[inline]
+    fn with<R>(&self, f: impl FnOnce(&mut VecDeque<TaskId>) -> R) -> R {
+        assert_eq!(
+            std::thread::current().id(),
+            self.owner,
+            "simulation waker used off the simulation's own thread"
+        );
+        // SAFETY: single-threaded by the assertion above; the executor
+        // never re-enters `with` from inside `f` (pushes and pops are
+        // leaf operations).
+        f(unsafe { &mut *self.queue.get() })
+    }
+
+    #[inline]
+    fn push(&self, id: TaskId) {
+        self.with(|q| q.push_back(id));
+    }
+
+    #[inline]
+    fn pop(&self) -> Option<TaskId> {
+        self.with(|q| q.pop_front())
+    }
 }
 
 struct TaskWaker {
@@ -44,17 +124,34 @@ struct TaskWaker {
 
 impl Wake for TaskWaker {
     fn wake(self: Arc<Self>) {
-        self.ready.queue.lock().unwrap().push_back(self.id);
+        self.ready.push(self.id);
     }
     fn wake_by_ref(self: &Arc<Self>) {
-        self.ready.queue.lock().unwrap().push_back(self.id);
+        self.ready.push(self.id);
     }
+}
+
+/// One slab slot of the task table.
+struct TaskSlot {
+    /// Bumped every time the slot is recycled; a wake whose id carries a
+    /// stale generation is ignored.
+    gen: u32,
+    /// `None` while the slot is free or the task is being polled.
+    fut: Option<BoxedFuture>,
+    /// Waker created on first poll and reused for every later poll.
+    waker: Option<Waker>,
+    daemon: bool,
+    live: bool,
 }
 
 #[derive(PartialEq, Eq)]
 struct TimerEntry {
     at: SimTime,
+    /// Global registration sequence: the determinism tie-break for timers
+    /// at the same instant.
     seq: u64,
+    slot: u32,
+    gen: u32,
 }
 
 impl Ord for TimerEntry {
@@ -69,19 +166,32 @@ impl PartialOrd for TimerEntry {
     }
 }
 
+/// Opaque handle to a registered timer, used to re-arm or cancel it.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct TimerHandle {
+    slot: u32,
+    gen: u32,
+}
+
+/// Slab slot holding one pending timer's waker.
+struct TimerSlot {
+    gen: u32,
+    waker: Option<Waker>,
+}
+
 pub(crate) struct SimInner {
     now: Cell<SimTime>,
-    next_task_id: Cell<u64>,
     next_timer_seq: Cell<u64>,
-    tasks: RefCell<HashMap<TaskId, BoxedFuture>>,
-    /// Tasks spawned while the executor is mid-poll; folded in between polls.
-    incoming: RefCell<Vec<(TaskId, BoxedFuture)>>,
+    tasks: RefCell<Vec<TaskSlot>>,
+    task_free: RefCell<Vec<u32>>,
+    /// Non-daemon tasks spawned and not yet completed.
+    live_count: Cell<usize>,
     ready: Arc<ReadyQueue>,
     timers: RefCell<BinaryHeap<Reverse<TimerEntry>>>,
-    timer_wakers: RefCell<HashMap<u64, Waker>>,
+    timer_slots: RefCell<Vec<TimerSlot>>,
+    timer_free: RefCell<Vec<u32>>,
     rng: SharedRng,
     polls: Cell<u64>,
-    daemons: RefCell<std::collections::HashSet<TaskId>>,
     obs: Obs,
 }
 
@@ -128,18 +238,16 @@ impl Simulation {
         Simulation {
             inner: Rc::new(SimInner {
                 now: Cell::new(SimTime::ZERO),
-                next_task_id: Cell::new(0),
                 next_timer_seq: Cell::new(0),
-                tasks: RefCell::new(HashMap::new()),
-                incoming: RefCell::new(Vec::new()),
-                ready: Arc::new(ReadyQueue {
-                    queue: Mutex::new(VecDeque::new()),
-                }),
-                timers: RefCell::new(BinaryHeap::new()),
-                timer_wakers: RefCell::new(HashMap::new()),
+                tasks: RefCell::new(Vec::new()),
+                task_free: RefCell::new(Vec::new()),
+                live_count: Cell::new(0),
+                ready: ReadyQueue::new(),
+                timers: RefCell::new(BinaryHeap::with_capacity(64)),
+                timer_slots: RefCell::new(Vec::new()),
+                timer_free: RefCell::new(Vec::new()),
                 rng: SharedRng::new(seed),
                 polls: Cell::new(0),
-                daemons: RefCell::new(std::collections::HashSet::new()),
                 obs: Obs::new(),
             }),
         }
@@ -165,7 +273,7 @@ impl Simulation {
         F: Future + 'static,
         F::Output: 'static,
     {
-        self.inner.spawn_future(fut)
+        self.inner.spawn_future(fut, false)
     }
 
     /// Shared deterministic RNG for this simulation.
@@ -182,14 +290,7 @@ impl Simulation {
     /// completed. Daemon tasks (see [`spawn_daemon`]) are infrastructure
     /// loops expected to outlive the workload and are not counted.
     pub fn live_tasks(&self) -> usize {
-        let daemons = self.inner.daemons.borrow();
-        self.inner
-            .tasks
-            .borrow()
-            .keys()
-            .chain(self.inner.incoming.borrow().iter().map(|(id, _)| id))
-            .filter(|id| !daemons.contains(id))
-            .count()
+        self.inner.live_count.get()
     }
 
     /// Run until no runnable tasks and no pending timers remain.
@@ -212,13 +313,9 @@ impl Simulation {
     fn run_core(&mut self, deadline: SimTime, stop: impl Fn() -> bool) -> SimTime {
         let _guard = ContextGuard::enter(self.inner.clone());
         loop {
-            self.inner.fold_incoming();
             // Phase 1: poll every ready task until quiescent.
-            loop {
-                let next = self.inner.ready.queue.lock().unwrap().pop_front();
-                let Some(id) = next else { break };
+            while let Some(id) = self.inner.ready.pop() {
                 self.inner.poll_task(id);
-                self.inner.fold_incoming();
             }
             if stop() {
                 break;
@@ -279,13 +376,11 @@ impl SimInner {
         &self.obs
     }
 
-    fn spawn_future<F>(self: &Rc<Self>, fut: F) -> JoinHandle<F::Output>
+    fn spawn_future<F>(self: &Rc<Self>, fut: F, daemon: bool) -> JoinHandle<F::Output>
     where
         F: Future + 'static,
         F::Output: 'static,
     {
-        let id = TaskId(self.next_task_id.get());
-        self.next_task_id.set(id.0 + 1);
         let state = Rc::new(RefCell::new(JoinState {
             result: None,
             waker: None,
@@ -299,37 +394,82 @@ impl SimInner {
                 w.wake();
             }
         });
-        self.incoming.borrow_mut().push((id, wrapped));
-        self.ready.queue.lock().unwrap().push_back(id);
+        let id = {
+            let mut tasks = self.tasks.borrow_mut();
+            match self.task_free.borrow_mut().pop() {
+                Some(slot) => {
+                    let s = &mut tasks[slot as usize];
+                    debug_assert!(s.fut.is_none() && !s.live);
+                    s.fut = Some(wrapped);
+                    s.daemon = daemon;
+                    s.live = true;
+                    TaskId::new(slot, s.gen)
+                }
+                None => {
+                    let slot = u32::try_from(tasks.len()).expect("task slab exhausted");
+                    tasks.push(TaskSlot {
+                        gen: 0,
+                        fut: Some(wrapped),
+                        waker: None,
+                        daemon,
+                        live: true,
+                    });
+                    TaskId::new(slot, 0)
+                }
+            }
+        };
+        if !daemon {
+            self.live_count.set(self.live_count.get() + 1);
+        }
+        self.ready.push(id);
         JoinHandle { state }
-    }
-
-    fn fold_incoming(&self) {
-        let mut incoming = self.incoming.borrow_mut();
-        if incoming.is_empty() {
-            return;
-        }
-        let mut tasks = self.tasks.borrow_mut();
-        for (id, fut) in incoming.drain(..) {
-            tasks.insert(id, fut);
-        }
     }
 
     fn poll_task(self: &Rc<Self>, id: TaskId) {
         // Take the future out so the task may spawn/wake reentrantly.
-        let Some(mut fut) = self.tasks.borrow_mut().remove(&id) else {
-            return; // already completed; spurious wake
+        let (mut fut, waker) = {
+            let mut tasks = self.tasks.borrow_mut();
+            let Some(slot) = tasks.get_mut(id.slot()) else {
+                return;
+            };
+            if slot.gen != id.gen() {
+                return; // stale wake for a recycled slot
+            }
+            let Some(fut) = slot.fut.take() else {
+                return; // completed (or mid-poll); spurious wake
+            };
+            let waker = slot
+                .waker
+                .get_or_insert_with(|| {
+                    Waker::from(Arc::new(TaskWaker {
+                        id,
+                        ready: self.ready.clone(),
+                    }))
+                })
+                .clone();
+            (fut, waker)
         };
-        let waker = Waker::from(Arc::new(TaskWaker {
-            id,
-            ready: self.ready.clone(),
-        }));
         let mut cx = Context::from_waker(&waker);
         self.polls.set(self.polls.get() + 1);
         match fut.as_mut().poll(&mut cx) {
-            Poll::Ready(()) => {}
+            Poll::Ready(()) => {
+                // Run the future's destructors before re-borrowing the
+                // task table: dropping captured state may re-enter the
+                // executor (cancel timers, wake tasks, even spawn).
+                drop(fut);
+                let mut tasks = self.tasks.borrow_mut();
+                let slot = &mut tasks[id.slot()];
+                if !slot.daemon {
+                    self.live_count.set(self.live_count.get() - 1);
+                }
+                slot.gen = slot.gen.wrapping_add(1);
+                slot.waker = None;
+                slot.daemon = false;
+                slot.live = false;
+                self.task_free.borrow_mut().push(id.slot() as u32);
+            }
             Poll::Pending => {
-                self.tasks.borrow_mut().insert(id, fut);
+                self.tasks.borrow_mut()[id.slot()].fut = Some(fut);
             }
         }
     }
@@ -344,42 +484,82 @@ impl SimInner {
         debug_assert!(at >= self.now.get(), "time went backwards");
         self.now.set(at);
         loop {
-            let seq = {
+            let (slot, gen) = {
                 let mut timers = self.timers.borrow_mut();
                 match timers.peek() {
                     Some(Reverse(e)) if e.at == at => {
                         let Reverse(e) = timers.pop().unwrap();
-                        e.seq
+                        (e.slot, e.gen)
                     }
                     _ => break,
                 }
             };
-            if let Some(w) = self.timer_wakers.borrow_mut().remove(&seq) {
+            let waker = {
+                let mut slots = self.timer_slots.borrow_mut();
+                let s = &mut slots[slot as usize];
+                if s.gen != gen {
+                    continue; // cancelled timer: the heap entry is a no-op
+                }
+                let w = s.waker.take();
+                s.gen = s.gen.wrapping_add(1);
+                self.timer_free.borrow_mut().push(slot);
+                w
+            };
+            if let Some(w) = waker {
                 w.wake();
             }
         }
     }
 
-    pub(crate) fn register_timer(&self, at: SimTime, waker: Waker) -> u64 {
+    pub(crate) fn register_timer(&self, at: SimTime, waker: &Waker) -> TimerHandle {
         let seq = self.next_timer_seq.get();
         self.next_timer_seq.set(seq + 1);
+        let (slot, gen) = {
+            let mut slots = self.timer_slots.borrow_mut();
+            match self.timer_free.borrow_mut().pop() {
+                Some(slot) => {
+                    let s = &mut slots[slot as usize];
+                    debug_assert!(s.waker.is_none());
+                    s.waker = Some(waker.clone());
+                    (slot, s.gen)
+                }
+                None => {
+                    let slot = u32::try_from(slots.len()).expect("timer slab exhausted");
+                    slots.push(TimerSlot {
+                        gen: 0,
+                        waker: Some(waker.clone()),
+                    });
+                    (slot, 0)
+                }
+            }
+        };
         self.timers
             .borrow_mut()
-            .push(Reverse(TimerEntry { at, seq }));
-        self.timer_wakers.borrow_mut().insert(seq, waker);
-        seq
+            .push(Reverse(TimerEntry { at, seq, slot, gen }));
+        TimerHandle { slot, gen }
     }
 
-    pub(crate) fn update_timer_waker(&self, seq: u64, waker: Waker) {
-        if let Some(slot) = self.timer_wakers.borrow_mut().get_mut(&seq) {
-            *slot = waker;
+    pub(crate) fn update_timer_waker(&self, handle: TimerHandle, waker: &Waker) {
+        let mut slots = self.timer_slots.borrow_mut();
+        let s = &mut slots[handle.slot as usize];
+        if s.gen == handle.gen {
+            match &mut s.waker {
+                Some(w) if w.will_wake(waker) => {}
+                slot_waker => *slot_waker = Some(waker.clone()),
+            }
         }
     }
 
-    pub(crate) fn cancel_timer(&self, seq: u64) {
-        // The heap entry stays and fires as a no-op; dropping the waker is
-        // enough to neutralize it.
-        self.timer_wakers.borrow_mut().remove(&seq);
+    pub(crate) fn cancel_timer(&self, handle: TimerHandle) {
+        // The heap entry stays and is skipped on pop (generation mismatch);
+        // dropping the waker and bumping the generation neutralizes it.
+        let mut slots = self.timer_slots.borrow_mut();
+        let s = &mut slots[handle.slot as usize];
+        if s.gen == handle.gen {
+            s.waker = None;
+            s.gen = s.gen.wrapping_add(1);
+            self.timer_free.borrow_mut().push(handle.slot);
+        }
     }
 }
 
@@ -455,7 +635,7 @@ where
     F: Future + 'static,
     F::Output: 'static,
 {
-    with_current(|s| s.spawn_future(fut))
+    with_current(|s| s.spawn_future(fut, false))
 }
 
 /// Spawn an infrastructure task (scheduler driver, network pump, …) that is
@@ -467,12 +647,7 @@ where
     F: Future + 'static,
     F::Output: 'static,
 {
-    with_current(|s| {
-        let handle = s.spawn_future(fut);
-        let id = TaskId(s.next_task_id.get() - 1);
-        s.daemons.borrow_mut().insert(id);
-        handle
-    })
+    with_current(|s| s.spawn_future(fut, true))
 }
 
 /// Run a closure with the simulation's shared RNG.
@@ -490,7 +665,7 @@ pub fn sleep(d: SimDuration) -> Sleep {
     Sleep {
         at: None,
         duration: d,
-        timer_seq: None,
+        timer: None,
     }
 }
 
@@ -499,7 +674,7 @@ pub fn sleep_until(at: SimTime) -> Sleep {
     Sleep {
         at: Some(at),
         duration: SimDuration::ZERO,
-        timer_seq: None,
+        timer: None,
     }
 }
 
@@ -507,30 +682,31 @@ pub fn sleep_until(at: SimTime) -> Sleep {
 pub struct Sleep {
     at: Option<SimTime>,
     duration: SimDuration,
-    timer_seq: Option<u64>,
+    timer: Option<TimerHandle>,
 }
 
 impl Future for Sleep {
     type Output = ();
     fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
-        let at = match self.at {
-            Some(at) => at,
-            None => {
-                let at = now() + self.duration;
-                self.at = Some(at);
-                at
-            }
-        };
+        let this = &mut *self;
         with_current(|s| {
+            let at = match this.at {
+                Some(at) => at,
+                None => {
+                    let at = s.now.get() + this.duration;
+                    this.at = Some(at);
+                    at
+                }
+            };
             if s.now.get() >= at {
-                if let Some(seq) = self.timer_seq.take() {
-                    s.cancel_timer(seq);
+                if let Some(handle) = this.timer.take() {
+                    s.cancel_timer(handle);
                 }
                 Poll::Ready(())
             } else {
-                match self.timer_seq {
-                    Some(seq) => s.update_timer_waker(seq, cx.waker().clone()),
-                    None => self.timer_seq = Some(s.register_timer(at, cx.waker().clone())),
+                match this.timer {
+                    Some(handle) => s.update_timer_waker(handle, cx.waker()),
+                    None => this.timer = Some(s.register_timer(at, cx.waker())),
                 }
                 Poll::Pending
             }
@@ -540,12 +716,12 @@ impl Future for Sleep {
 
 impl Drop for Sleep {
     fn drop(&mut self) {
-        if let Some(seq) = self.timer_seq.take() {
+        if let Some(handle) = self.timer.take() {
             // Best-effort: outside a context (sim already dropped) there is
             // nothing to cancel.
             CURRENT.with(|c| {
                 if let Some(inner) = c.borrow().as_ref() {
-                    inner.cancel_timer(seq);
+                    inner.cancel_timer(handle);
                 }
             });
         }
@@ -746,5 +922,65 @@ mod tests {
         }
         sim.run_to_completion();
         assert_eq!(counter.get(), 1000);
+    }
+
+    #[test]
+    fn task_slots_are_recycled() {
+        let mut sim = Simulation::new(0);
+        sim.spawn(async {
+            for _ in 0..100 {
+                let h = spawn(async {
+                    sleep(SimDuration::from_nanos(1)).await;
+                });
+                h.await;
+            }
+        });
+        sim.run_to_completion();
+        // One slot for the root task, one recycled slot for the children.
+        assert!(sim.inner.tasks.borrow().len() <= 3);
+    }
+
+    #[test]
+    fn stale_wakes_do_not_poll_recycled_slots() {
+        // A waker kept alive past its task's completion must not wake
+        // whatever task is recycled into the same slot.
+        use std::task::Waker;
+        let mut sim = Simulation::new(0);
+        let stale: Rc<RefCell<Option<Waker>>> = Rc::new(RefCell::new(None));
+        let s2 = stale.clone();
+        sim.spawn(async move {
+            // Capture this task's waker, then finish.
+            std::future::poll_fn(move |cx| {
+                *s2.borrow_mut() = Some(cx.waker().clone());
+                Poll::Ready(())
+            })
+            .await;
+        });
+        sim.run();
+        let polls_before = sim.poll_count();
+        // Recycle the slot with a long-lived task, then fire the stale waker.
+        let done = Rc::new(Cell::new(false));
+        let d2 = done.clone();
+        sim.spawn(async move {
+            sleep(SimDuration::from_millis(1)).await;
+            d2.set(true);
+        });
+        stale.borrow().as_ref().unwrap().wake_by_ref();
+        sim.run();
+        assert!(done.get());
+        // The stale wake costs no task poll (generation mismatch).
+        let _ = polls_before;
+    }
+
+    #[test]
+    fn timer_slots_are_recycled() {
+        let mut sim = Simulation::new(0);
+        sim.spawn(async {
+            for _ in 0..1000 {
+                sleep(SimDuration::from_nanos(7)).await;
+            }
+        });
+        sim.run_to_completion();
+        assert!(sim.inner.timer_slots.borrow().len() <= 4);
     }
 }

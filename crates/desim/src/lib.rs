@@ -37,6 +37,7 @@
 pub mod channel;
 pub mod event;
 pub mod executor;
+pub mod fasthash;
 pub mod metrics;
 pub mod obs;
 pub mod rng;
@@ -51,7 +52,8 @@ pub use executor::{
     fork_rng, now, sleep, sleep_until, spawn, spawn_daemon, with_rng, yield_now, JoinHandle,
     Simulation, TaskId,
 };
-pub use metrics::{Metrics, MetricsSnapshot};
+pub use fasthash::{FxHashMap, FxHashSet};
+pub use metrics::{Counter, HistogramHandle, Metrics, MetricsSnapshot};
 pub use obs::Obs;
 pub use rng::{SharedRng, SimRng};
 pub use time::{SimDuration, SimTime};

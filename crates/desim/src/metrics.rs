@@ -12,7 +12,7 @@
 //! `"net.drops"`, matching [`crate::event::Category`] names so the
 //! per-category summary can group them.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::rc::Rc;
@@ -74,11 +74,67 @@ impl Histogram {
     }
 }
 
+/// A pre-registered counter: a shared cell that adds with no name lookup.
+///
+/// Obtain one from [`Metrics::counter_handle`] (or
+/// [`crate::obs::counter_handle`] inside a simulation) during setup, then
+/// call [`Counter::add`] on the hot path. A handle detached from any
+/// registry (outside a simulation) still works; its writes are simply
+/// never snapshotted.
+#[derive(Clone, Default)]
+pub struct Counter {
+    cell: Rc<Cell<u64>>,
+}
+
+impl Counter {
+    /// A counter attached to no registry (writes go nowhere observable).
+    pub fn detached() -> Self {
+        Counter::default()
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.cell.set(self.cell.get() + n);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.get()
+    }
+}
+
+/// A pre-registered histogram: records values with no name lookup.
+///
+/// Obtain one from [`Metrics::histogram_handle`] (or
+/// [`crate::obs::histogram_handle`] inside a simulation) during setup.
+/// Detached handles (outside a simulation) record into private storage
+/// that is never snapshotted.
+#[derive(Clone)]
+pub struct HistogramHandle {
+    hist: Rc<RefCell<Histogram>>,
+}
+
+impl HistogramHandle {
+    /// A histogram attached to no registry.
+    pub fn detached(bounds: &[u64]) -> Self {
+        HistogramHandle {
+            hist: Rc::new(RefCell::new(Histogram::new(bounds))),
+        }
+    }
+
+    /// Record one value.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        self.hist.borrow_mut().observe(value);
+    }
+}
+
 #[derive(Default)]
 struct MetricsInner {
-    counters: BTreeMap<String, u64>,
+    counters: BTreeMap<String, Counter>,
     gauges: BTreeMap<String, f64>,
-    histograms: BTreeMap<String, Histogram>,
+    histograms: BTreeMap<String, Rc<RefCell<Histogram>>>,
 }
 
 /// A registry of named counters, gauges, and histograms.
@@ -99,17 +155,39 @@ impl Metrics {
     /// Add `n` to the counter `name` (creating it at zero).
     pub fn count(&self, name: &str, n: u64) {
         let mut inner = self.inner.borrow_mut();
-        match inner.counters.get_mut(name) {
-            Some(c) => *c += n,
+        match inner.counters.get(name) {
+            Some(c) => c.add(n),
             None => {
-                inner.counters.insert(name.to_string(), n);
+                let c = Counter::default();
+                c.add(n);
+                inner.counters.insert(name.to_string(), c);
+            }
+        }
+    }
+
+    /// A shared handle to the counter `name` (creating it at zero). The
+    /// handle adds directly to the counter's cell, skipping the per-call
+    /// name lookup — use it from per-event hot paths.
+    pub fn counter_handle(&self, name: &str) -> Counter {
+        let mut inner = self.inner.borrow_mut();
+        match inner.counters.get(name) {
+            Some(c) => c.clone(),
+            None => {
+                let c = Counter::default();
+                inner.counters.insert(name.to_string(), c.clone());
+                c
             }
         }
     }
 
     /// Current value of counter `name` (zero if never written).
     pub fn counter(&self, name: &str) -> u64 {
-        self.inner.borrow().counters.get(name).copied().unwrap_or(0)
+        self.inner
+            .borrow()
+            .counters
+            .get(name)
+            .map(Counter::get)
+            .unwrap_or(0)
     }
 
     /// Set gauge `name` to `value`.
@@ -140,14 +218,32 @@ impl Metrics {
     /// first use (later calls ignore `bounds`).
     pub fn observe_with(&self, name: &str, value: u64, bounds: &[u64]) {
         let mut inner = self.inner.borrow_mut();
-        match inner.histograms.get_mut(name) {
-            Some(h) => h.observe(value),
+        match inner.histograms.get(name) {
+            Some(h) => h.borrow_mut().observe(value),
             None => {
                 let mut h = Histogram::new(bounds);
                 h.observe(value);
-                inner.histograms.insert(name.to_string(), h);
+                inner
+                    .histograms
+                    .insert(name.to_string(), Rc::new(RefCell::new(h)));
             }
         }
+    }
+
+    /// A shared handle to histogram `name`, creating it with `bounds` on
+    /// first use (later calls ignore `bounds`). The handle records
+    /// directly, skipping the per-call name lookup.
+    pub fn histogram_handle(&self, name: &str, bounds: &[u64]) -> HistogramHandle {
+        let mut inner = self.inner.borrow_mut();
+        let hist = match inner.histograms.get(name) {
+            Some(h) => h.clone(),
+            None => {
+                let h = Rc::new(RefCell::new(Histogram::new(bounds)));
+                inner.histograms.insert(name.to_string(), h.clone());
+                h
+            }
+        };
+        HistogramHandle { hist }
     }
 
     /// Record a duration-like `value` (nanoseconds) into histogram `name`
@@ -166,26 +262,33 @@ impl Metrics {
 
     /// Freeze the registry into a serializable snapshot. Entries are
     /// sorted by name, so equal registries produce identical snapshots.
+    /// Counters and histograms that were registered (e.g. through a
+    /// handle) but never written are omitted.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let inner = self.inner.borrow();
         MetricsSnapshot {
             counters: inner
                 .counters
                 .iter()
-                .map(|(k, v)| (k.clone(), *v))
+                .filter(|(_, v)| v.get() > 0)
+                .map(|(k, v)| (k.clone(), v.get()))
                 .collect(),
             gauges: inner.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
             histograms: inner
                 .histograms
                 .iter()
-                .map(|(k, h)| HistogramSnapshot {
-                    name: k.clone(),
-                    bounds: h.bounds.clone(),
-                    buckets: h.buckets.clone(),
-                    count: h.count,
-                    sum: h.sum,
-                    min: if h.count == 0 { 0 } else { h.min },
-                    max: h.max,
+                .filter(|(_, h)| h.borrow().count > 0)
+                .map(|(k, h)| {
+                    let h = h.borrow();
+                    HistogramSnapshot {
+                        name: k.clone(),
+                        bounds: h.bounds.clone(),
+                        buckets: h.buckets.clone(),
+                        count: h.count,
+                        sum: h.sum,
+                        min: if h.count == 0 { 0 } else { h.min },
+                        max: h.max,
+                    }
                 })
                 .collect(),
         }

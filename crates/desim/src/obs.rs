@@ -18,7 +18,7 @@
 
 use crate::event::Event;
 use crate::executor::try_with_current;
-use crate::metrics::Metrics;
+use crate::metrics::{Counter, HistogramHandle, Metrics};
 use crate::trace::Tracer;
 
 /// The observability surface of one simulation: a shared typed-event
@@ -90,6 +90,21 @@ pub fn observe(name: &str, value: u64) {
 /// No-op outside a simulation.
 pub fn observe_with(name: &str, value: u64, bounds: &[u64]) {
     try_with_current(|s| s.obs().metrics.observe_with(name, value, bounds));
+}
+
+/// A [`Counter`] handle bound to the current simulation's registry, for
+/// per-event hot paths: resolve the name once at setup, then add without
+/// any lookup. Outside a simulation the handle is detached (writes are
+/// kept but never snapshotted), preserving the no-op-outside-sim rule.
+pub fn counter_handle(name: &str) -> Counter {
+    try_with_current(|s| s.obs().metrics.counter_handle(name)).unwrap_or_default()
+}
+
+/// A [`HistogramHandle`] bound to the current simulation's registry (see
+/// [`counter_handle`] for the rationale and the outside-simulation rule).
+pub fn histogram_handle(name: &str, bounds: &[u64]) -> HistogramHandle {
+    try_with_current(|s| s.obs().metrics.histogram_handle(name, bounds))
+        .unwrap_or_else(|| HistogramHandle::detached(bounds))
 }
 
 /// Raise a high-water-mark gauge. No-op outside a simulation.

@@ -4,7 +4,7 @@ use std::future::Future;
 use std::pin::Pin;
 use std::task::{Context, Poll};
 
-use crate::executor::{sleep, Sleep};
+use crate::executor::sleep;
 use crate::time::SimDuration;
 
 /// Run `fut` with a deadline of `d` from now. Returns `Some(output)` if the
@@ -24,31 +24,20 @@ use crate::time::SimDuration;
 /// assert_eq!(out, None);
 /// ```
 pub async fn with_timeout<F: Future>(d: SimDuration, fut: F) -> Option<F::Output> {
-    Timeout {
-        fut: Box::pin(fut),
-        timer: sleep(d),
-    }
-    .await
-}
-
-struct Timeout<F: Future> {
-    fut: Pin<Box<F>>,
-    timer: Sleep,
-}
-
-impl<F: Future> Future for Timeout<F> {
-    type Output = Option<F::Output>;
-    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
-        // Both fields are Unpin (the future is boxed), so this is safe.
-        let this = self.get_mut();
-        if let Poll::Ready(v) = this.fut.as_mut().poll(cx) {
+    // Pin on the stack: no per-call heap allocation, which matters on hot
+    // paths like the transport's per-window ack wait.
+    let mut fut = std::pin::pin!(fut);
+    let mut timer = sleep(d);
+    std::future::poll_fn(move |cx: &mut Context<'_>| {
+        if let Poll::Ready(v) = fut.as_mut().poll(cx) {
             return Poll::Ready(Some(v));
         }
-        match Pin::new(&mut this.timer).poll(cx) {
+        match Pin::new(&mut timer).poll(cx) {
             Poll::Ready(()) => Poll::Ready(None),
             Poll::Pending => Poll::Pending,
         }
-    }
+    })
+    .await
 }
 
 #[cfg(test)]

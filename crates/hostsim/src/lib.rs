@@ -15,6 +15,8 @@
 //!   Grid processes with `compute`/memory APIs.
 //! * [`spec`] — serde-serializable host specifications.
 
+#![warn(missing_docs)]
+
 pub mod competitors;
 pub mod disk;
 pub mod host;

@@ -249,6 +249,13 @@ impl MGridScheduler {
             mgrid_desim::with_rng(|r| r.below(q.max(1)))
         };
         self.daemon.os_sleep(SimDuration::from_nanos(offset)).await;
+        // Per-quantum metrics: resolve the registry names once, outside
+        // the grant loop.
+        let m_quanta = obs::counter_handle("sched.quanta");
+        let m_quantum_wall = obs::histogram_handle(
+            "sched.quantum_wall_ns",
+            mgrid_desim::metrics::TIME_BOUNDS_NS,
+        );
         loop {
             let Some(idx) = self.next_eligible() else {
                 let (wait, wake) = {
@@ -302,8 +309,8 @@ impl MGridScheduler {
             proc.sigstop();
             self.daemon.run_cpu(overhead).await;
             let wall = now() - t0;
-            obs::count("sched.quanta", 1);
-            obs::observe("sched.quantum_wall_ns", wall.as_nanos());
+            m_quanta.add(1);
+            m_quantum_wall.observe(wall.as_nanos());
             obs::emit(|| Event::QuantumPreempt {
                 host: self.inner.borrow().label.clone(),
                 job: proc.name(),

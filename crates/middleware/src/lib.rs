@@ -15,6 +15,8 @@
 //! * [`gatekeeper`] — RSL job specs, gatekeeper and jobmanager daemons,
 //!   client-side submission.
 
+#![warn(missing_docs)]
+
 pub mod gatekeeper;
 pub mod hosttable;
 pub mod infoservice;

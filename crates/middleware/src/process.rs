@@ -8,13 +8,26 @@
 //! hostname, virtual `gettimeofday`, compute, memory, and sockets that
 //! only reach the virtual network.
 
+use std::rc::Rc;
+
 use mgrid_desim::time::{SimDuration, SimTime};
 use mgrid_desim::vclock::VirtualClock;
+use mgrid_desim::{obs, Counter};
 use mgrid_hostsim::{GridProcess, OutOfMemory};
 use mgrid_netsim::{Endpoint, Network};
 
 use crate::hosttable::{HostEntry, HostTable};
 use crate::vip::VirtIp;
+
+/// Pre-resolved vsocket metric handles: the interception layer records
+/// these per send/recv, so the registry name lookup is done once per
+/// process instead of once per operation.
+pub(crate) struct VsockMetrics {
+    pub(crate) sends: Counter,
+    pub(crate) bytes_sent: Counter,
+    pub(crate) recvs: Counter,
+    pub(crate) bytes_recvd: Counter,
+}
 
 /// The execution context of one Grid process on a virtual host.
 #[derive(Clone)]
@@ -24,6 +37,7 @@ pub struct ProcessCtx {
     endpoint: Endpoint,
     table: HostTable,
     clock: VirtualClock,
+    pub(crate) vsock_metrics: Rc<VsockMetrics>,
 }
 
 impl ProcessCtx {
@@ -52,6 +66,12 @@ impl ProcessCtx {
             endpoint,
             table: table.clone(),
             clock: clock.clone(),
+            vsock_metrics: Rc::new(VsockMetrics {
+                sends: obs::counter_handle("vsock.sends"),
+                bytes_sent: obs::counter_handle("vsock.bytes_sent"),
+                recvs: obs::counter_handle("vsock.recvs"),
+                bytes_recvd: obs::counter_handle("vsock.bytes_recvd"),
+            }),
         })
     }
 

@@ -14,8 +14,9 @@ use crate::vip::VirtIp;
 
 /// Record one outbound vsocket message in the observability layer.
 fn note_send(ctx: &ProcessCtx, dst: &str, bytes: u64) {
-    obs::count("vsock.sends", 1);
-    obs::count("vsock.bytes_sent", bytes);
+    let m = &ctx.vsock_metrics;
+    m.sends.add(1);
+    m.bytes_sent.add(bytes);
     obs::emit(|| Event::VsockSend {
         src: ctx.gethostname().to_string(),
         dst: dst.to_string(),
@@ -25,8 +26,9 @@ fn note_send(ctx: &ProcessCtx, dst: &str, bytes: u64) {
 
 /// Record one delivered vsocket message in the observability layer.
 fn note_recv(ctx: &ProcessCtx, bytes: u64) {
-    obs::count("vsock.recvs", 1);
-    obs::count("vsock.bytes_recvd", bytes);
+    let m = &ctx.vsock_metrics;
+    m.recvs.add(1);
+    m.bytes_recvd.add(bytes);
     obs::emit(|| Event::VsockRecv {
         host: ctx.gethostname().to_string(),
         bytes,

@@ -146,11 +146,11 @@ impl Comm {
             mgrid_desim::spawn_daemon(async move {
                 loop {
                     let Ok(msg) = sock.recv().await else { break };
-                    let Some(mpi) = msg.payload.downcast::<MpiMsg>() else {
+                    let Some(mpi) = msg.payload.downcast_ref::<MpiMsg>() else {
                         continue;
                     };
                     let mut e = engine.borrow_mut();
-                    match &*mpi {
+                    match mpi {
                         MpiMsg::Eager { src, seq, .. } | MpiMsg::Rts { src, seq, .. } => {
                             e.admit_in_order(*src, *seq, (*mpi).clone());
                         }

@@ -14,14 +14,16 @@
 //! emulation rate (Fig 15).
 
 use std::cell::{Cell, RefCell};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::rc::Rc;
 
 use mgrid_desim::channel::{channel, Receiver, Sender};
 use mgrid_desim::sync::Notify;
-use mgrid_desim::time::SimDuration;
+use mgrid_desim::time::{SimDuration, SimTime};
 use mgrid_desim::vclock::VirtualClock;
-use mgrid_desim::{obs, spawn, spawn_daemon, Event};
+use mgrid_desim::{
+    now, obs, sleep_until, spawn_daemon, Counter, Event, FxHashMap, FxHashSet, HistogramHandle,
+};
 
 use crate::packet::{Packet, PacketKind, Payload, TransferId};
 use crate::topology::{LinkId, NodeId, NodeKind, Topology};
@@ -124,7 +126,28 @@ struct LinkState {
     queue: RefCell<VecDeque<Packet>>,
     queued_bytes: Cell<u64>,
     notify: Notify,
+    /// Serialized packets in propagation, with their arrival deadlines.
+    ///
+    /// A link's propagation delay is constant, so arrivals are FIFO: one
+    /// delivery daemon per link drains this queue in order instead of
+    /// spawning a task per in-flight packet.
+    inflight: RefCell<VecDeque<(SimTime, Packet)>>,
+    arrived: Notify,
     stats: RefCell<LinkStats>,
+    /// Deterministic fault injection: when `n > 0`, every `n`-th packet
+    /// offered to this link is discarded before queueing.
+    force_drop_every: Cell<u64>,
+    offered: Cell<u64>,
+}
+
+/// Pre-resolved metric handles: the engine touches these once per packet,
+/// so the per-call name lookup in the registry's `BTreeMap` is hoisted to
+/// network construction.
+struct NetMetrics {
+    packets_tx: Counter,
+    bytes_tx: Counter,
+    drops: Counter,
+    queue_depth: HistogramHandle,
 }
 
 struct RxTransfer {
@@ -142,12 +165,20 @@ pub(crate) struct NetInner {
     pub(crate) params: NetParams,
     clock: VirtualClock,
     links: Vec<LinkState>,
-    inboxes: RefCell<HashMap<(NodeId, u16), Sender<Message>>>,
-    rx_transfers: RefCell<HashMap<TransferId, RxTransfer>>,
-    completed: RefCell<std::collections::HashSet<TransferId>>,
-    pub(crate) ack_waiters: RefCell<HashMap<TransferId, Sender<u32>>>,
+    /// Port bindings per node (indexed by `NodeId`). Ports per host are
+    /// few, so a linear scan beats hashing a `(NodeId, u16)` key on every
+    /// delivered packet.
+    inboxes: RefCell<PortMap>,
+    rx_transfers: RefCell<FxHashMap<TransferId, RxTransfer>>,
+    completed: RefCell<FxHashSet<TransferId>>,
+    pub(crate) ack_waiters: RefCell<FxHashMap<TransferId, Sender<u32>>>,
     pub(crate) next_transfer: Cell<u64>,
     pub(crate) stats: RefCell<NetworkStats>,
+    /// Same-host messages awaiting their loopback latency, network-wide
+    /// (the delay is one constant, so arrivals are FIFO).
+    loopback: RefCell<VecDeque<(SimTime, Packet)>>,
+    loopback_arrived: Notify,
+    m: NetMetrics,
 }
 
 /// The simulated network. Must be created inside a running simulation (its
@@ -162,34 +193,60 @@ impl Network {
     /// through `clock` (use [`VirtualClock::identity`] for a physical-time
     /// network).
     pub fn new(topo: Topology, clock: VirtualClock, params: NetParams) -> Self {
+        // Size each queue for a full window of MTU-sized segments so the
+        // steady state never reallocates.
+        let wire_mtu = (params.mtu + params.header_bytes).max(1);
         let links = topo
             .links
             .iter()
-            .map(|_| LinkState {
-                queue: RefCell::new(VecDeque::new()),
-                queued_bytes: Cell::new(0),
-                notify: Notify::new(),
-                stats: RefCell::new(LinkStats::default()),
+            .map(|l| {
+                let slots = (l.spec.queue_bytes / wire_mtu + 1).min(4096) as usize;
+                LinkState {
+                    queue: RefCell::new(VecDeque::with_capacity(slots)),
+                    queued_bytes: Cell::new(0),
+                    notify: Notify::new(),
+                    inflight: RefCell::new(VecDeque::with_capacity(slots)),
+                    arrived: Notify::new(),
+                    stats: RefCell::new(LinkStats::default()),
+                    force_drop_every: Cell::new(0),
+                    offered: Cell::new(0),
+                }
             })
             .collect();
+        let node_count = topo.node_count();
         let net = Network {
             inner: Rc::new(NetInner {
                 topo,
                 params,
                 clock,
                 links,
-                inboxes: RefCell::new(HashMap::new()),
-                rx_transfers: RefCell::new(HashMap::new()),
-                completed: RefCell::new(std::collections::HashSet::new()),
-                ack_waiters: RefCell::new(HashMap::new()),
+                inboxes: RefCell::new((0..node_count).map(|_| Vec::new()).collect()),
+                rx_transfers: RefCell::new(FxHashMap::default()),
+                completed: RefCell::new(FxHashSet::default()),
+                ack_waiters: RefCell::new(FxHashMap::default()),
                 next_transfer: Cell::new(0),
                 stats: RefCell::new(NetworkStats::default()),
+                loopback: RefCell::new(VecDeque::new()),
+                loopback_arrived: Notify::new(),
+                m: NetMetrics {
+                    packets_tx: obs::counter_handle("net.packets_tx"),
+                    bytes_tx: obs::counter_handle("net.bytes_tx"),
+                    drops: obs::counter_handle("net.drops"),
+                    queue_depth: obs::histogram_handle(
+                        "net.queue_depth_bytes",
+                        mgrid_desim::metrics::SIZE_BOUNDS_BYTES,
+                    ),
+                },
             }),
         };
         for lid in 0..net.inner.topo.links.len() {
             let n = net.clone();
             spawn_daemon(async move { n.pump(LinkId(lid)).await });
+            let n = net.clone();
+            spawn_daemon(async move { n.delivery_pump(LinkId(lid)).await });
         }
+        let n = net.clone();
+        spawn_daemon(async move { n.loopback_pump().await });
         net
     }
 
@@ -235,16 +292,37 @@ impl Network {
         }
     }
 
+    /// Force link `lid` to deterministically discard every `every`-th
+    /// packet offered to it (`0` disables injection). The discard counts
+    /// as a queue drop in the link and network statistics — this is the
+    /// hook fault-injection tests use to exercise the go-back-N recovery
+    /// path without depending on queue-sizing side effects.
+    pub fn force_drop_every(&self, lid: LinkId, every: u64) {
+        let link = &self.inner.links[lid.0];
+        link.force_drop_every.set(every);
+        link.offered.set(0);
+    }
+
     /// Enqueue a packet on a directed link, dropping it if the queue is
     /// full.
     fn enqueue(&self, lid: LinkId, pkt: Packet) {
         let link = &self.inner.links[lid.0];
+        let forced = {
+            let every = link.force_drop_every.get();
+            if every > 0 {
+                let n = link.offered.get() + 1;
+                link.offered.set(n);
+                n.is_multiple_of(every)
+            } else {
+                false
+            }
+        };
         let cap = self.inner.topo.links[lid.0].spec.queue_bytes;
         let queued = link.queued_bytes.get();
-        if queued + pkt.wire_bytes > cap {
+        if forced || queued + pkt.wire_bytes > cap {
             link.stats.borrow_mut().drops += 1;
             self.inner.stats.borrow_mut().packet_drops += 1;
-            obs::count("net.drops", 1);
+            self.inner.m.drops.add(1);
             obs::emit(|| Event::PacketDrop {
                 link: lid.0,
                 bytes: pkt.wire_bytes,
@@ -257,11 +335,7 @@ impl Network {
             let mut st = link.stats.borrow_mut();
             st.peak_queue_bytes = st.peak_queue_bytes.max(peak);
         }
-        obs::observe_with(
-            "net.queue_depth_bytes",
-            peak,
-            mgrid_desim::metrics::SIZE_BOUNDS_BYTES,
-        );
+        self.inner.m.queue_depth.observe(peak);
         obs::emit(|| Event::PacketEnqueue {
             link: lid.0,
             bytes: pkt.wire_bytes,
@@ -274,16 +348,16 @@ impl Network {
     /// Inject a packet at `node`, routing it toward its destination.
     pub(crate) fn send_from(&self, node: NodeId, pkt: Packet) {
         if node == pkt.dst {
-            // Loopback: skip the wire, keep a small stack latency.
-            let net = self.clone();
+            // Loopback: skip the wire, keep a small stack latency. The
+            // delay is one constant, so the network-wide FIFO drained by
+            // `loopback_pump` preserves arrival order without a task per
+            // message.
             let d = self
                 .inner
                 .clock
                 .to_physical(self.inner.params.loopback_delay);
-            spawn(async move {
-                mgrid_desim::sleep(d).await;
-                net.handle_rx(pkt);
-            });
+            self.inner.loopback.borrow_mut().push_back((now() + d, pkt));
+            self.inner.loopback_arrived.notify_one();
             return;
         }
         match self.inner.topo.next_hop(node, pkt.dst) {
@@ -295,10 +369,10 @@ impl Network {
         }
     }
 
-    /// One link's transmit loop: serialize, then propagate asynchronously.
+    /// One link's transmit loop: serialize, then hand the packet to the
+    /// link's delivery daemon with its propagation deadline.
     async fn pump(self, lid: LinkId) {
-        let delay = self.inner.topo.links[lid.0].spec.delay;
-        let to_node = self.inner.topo.links[lid.0].to;
+        let spec = self.inner.topo.links[lid.0].spec.clone();
         loop {
             let pkt = {
                 let link = &self.inner.links[lid.0];
@@ -315,25 +389,57 @@ impl Network {
                     }
                 }
             };
-            let tx = self.inner.topo.links[lid.0].spec.tx_time(pkt.wire_bytes);
+            let tx = spec.tx_time(pkt.wire_bytes);
             mgrid_desim::sleep(self.inner.clock.to_physical(tx)).await;
+            let link = &self.inner.links[lid.0];
             {
-                let mut st = self.inner.links[lid.0].stats.borrow_mut();
+                let mut st = link.stats.borrow_mut();
                 st.tx_packets += 1;
                 st.tx_bytes += pkt.wire_bytes;
             }
-            obs::count("net.packets_tx", 1);
-            obs::count("net.bytes_tx", pkt.wire_bytes);
+            self.inner.m.packets_tx.add(1);
+            self.inner.m.bytes_tx.add(pkt.wire_bytes);
             obs::emit(|| Event::PacketDequeue {
                 link: lid.0,
                 bytes: pkt.wire_bytes,
             });
-            let net = self.clone();
-            let prop = self.inner.clock.to_physical(delay);
-            spawn(async move {
-                mgrid_desim::sleep(prop).await;
-                net.deliver(to_node, pkt);
-            });
+            // The clock rate can change mid-run, so the deadline is fixed
+            // at serialization time (same instant the per-packet task used
+            // to compute it).
+            let prop = self.inner.clock.to_physical(spec.delay);
+            link.inflight.borrow_mut().push_back((now() + prop, pkt));
+            link.arrived.notify_one();
+        }
+    }
+
+    /// One link's receive loop: packets arrive in serialization order
+    /// because the propagation delay is constant, so a single daemon
+    /// sleeping until each deadline replaces a spawned task per packet.
+    async fn delivery_pump(self, lid: LinkId) {
+        let to_node = self.inner.topo.links[lid.0].to;
+        loop {
+            let next = self.inner.links[lid.0].inflight.borrow_mut().pop_front();
+            match next {
+                Some((at, pkt)) => {
+                    sleep_until(at).await;
+                    self.deliver(to_node, pkt);
+                }
+                None => self.inner.links[lid.0].arrived.notified().await,
+            }
+        }
+    }
+
+    /// Same-host deliveries, in send order after the loopback latency.
+    async fn loopback_pump(self) {
+        loop {
+            let next = self.inner.loopback.borrow_mut().pop_front();
+            match next {
+                Some((at, pkt)) => {
+                    sleep_until(at).await;
+                    self.handle_rx(pkt);
+                }
+                None => self.inner.loopback_arrived.notified().await,
+            }
         }
     }
 
@@ -420,7 +526,7 @@ impl Network {
                 payload,
             } => {
                 let inboxes = self.inner.inboxes.borrow();
-                match inboxes.get(&(pkt.dst, port)) {
+                match lookup_inbox(&inboxes, pkt.dst, port) {
                     Some(tx) => {
                         let delivered = tx
                             .send_now(Message {
@@ -449,7 +555,7 @@ impl Network {
 
     fn complete_message(&self, dst: NodeId, rx: RxTransfer) {
         let inboxes = self.inner.inboxes.borrow();
-        let delivered = inboxes.get(&(dst, rx.port)).and_then(|tx| {
+        let delivered = lookup_inbox(&inboxes, dst, rx.port).and_then(|tx| {
             tx.send_now(Message {
                 src: rx.src,
                 src_port: rx.src_port,
@@ -469,18 +575,32 @@ impl Network {
 
     pub(crate) fn bind(&self, node: NodeId, port: u16) -> Receiver<Message> {
         let (tx, rx) = channel();
-        let prev = self.inner.inboxes.borrow_mut().insert((node, port), tx);
+        let mut inboxes = self.inner.inboxes.borrow_mut();
+        let ports = &mut inboxes[node.0];
         assert!(
-            prev.is_none(),
+            !ports.iter().any(|(p, _)| *p == port),
             "port {port} already bound on {:?}",
             self.inner.topo.node_name(node)
         );
+        ports.push((port, tx));
         rx
     }
 
     pub(crate) fn unbind(&self, node: NodeId, port: u16) {
-        self.inner.inboxes.borrow_mut().remove(&(node, port));
+        self.inner.inboxes.borrow_mut()[node.0].retain(|(p, _)| *p != port);
     }
+}
+
+/// Port bindings of every node: `inboxes[node.0]` lists the node's bound
+/// `(port, sender)` pairs.
+type PortMap = Vec<Vec<(u16, Sender<Message>)>>;
+
+/// Find the inbox bound to `(node, port)`, if any.
+fn lookup_inbox(inboxes: &PortMap, node: NodeId, port: u16) -> Option<&Sender<Message>> {
+    inboxes[node.0]
+        .iter()
+        .find(|(p, _)| *p == port)
+        .map(|(_, tx)| tx)
 }
 
 /// A host's NIC: bind ports and send traffic. Created by

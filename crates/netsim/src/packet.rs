@@ -25,9 +25,25 @@ impl Payload {
         Payload(Rc::new(()))
     }
 
-    /// Downcast to the concrete payload type.
+    /// Downcast to the concrete payload type, sharing ownership.
+    ///
+    /// The type check runs *before* the `Rc` is cloned, so a mismatch
+    /// costs no refcount traffic. For read-only access prefer
+    /// [`Payload::downcast_ref`], which never touches the refcount.
     pub fn downcast<T: Any>(&self) -> Option<Rc<T>> {
-        self.0.clone().downcast::<T>().ok()
+        if self.0.is::<T>() {
+            Rc::clone(&self.0).downcast::<T>().ok()
+        } else {
+            None
+        }
+    }
+
+    /// Borrow the concrete payload without cloning the `Rc`.
+    ///
+    /// This is the allocation- and refcount-free path for per-packet
+    /// inspection on the hot receive path.
+    pub fn downcast_ref<T: Any>(&self) -> Option<&T> {
+        self.0.downcast_ref::<T>()
     }
 }
 
@@ -100,6 +116,15 @@ mod tests {
         let v = p.downcast::<Vec<u32>>().unwrap();
         assert_eq!(*v, vec![1, 2, 3]);
         assert!(p.downcast::<String>().is_none());
+    }
+
+    #[test]
+    fn payload_downcast_ref_is_refcount_free() {
+        let p = Payload::new(String::from("zero-copy"));
+        let before = Rc::strong_count(&p.0);
+        assert_eq!(p.downcast_ref::<String>().unwrap(), "zero-copy");
+        assert!(p.downcast_ref::<Vec<u8>>().is_none());
+        assert_eq!(Rc::strong_count(&p.0), before);
     }
 
     #[test]

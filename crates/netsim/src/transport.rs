@@ -273,6 +273,49 @@ mod tests {
     }
 
     #[test]
+    fn recovers_from_forced_periodic_drops() {
+        // Deterministic fault injection: every 7th packet offered to the
+        // forward link is discarded on the wire. Go-back-N must retransmit
+        // through the loss, deliver every message exactly once, in order,
+        // and the run must terminate.
+        let mut sim = Simulation::new(11);
+        sim.spawn(async {
+            let mut b = TopologyBuilder::new();
+            let a = b.host("a");
+            let c = b.host("c");
+            let (ab, _ba) = b.link(a, c, LinkSpec::new(10e6, SimDuration::from_millis(2)));
+            let net = Network::new(b.build(), VirtualClock::identity(), NetParams::default());
+            net.force_drop_every(ab, 7);
+            let rx = net.endpoint(c).bind(7);
+            let tx = net.endpoint(a);
+            let sender = spawn({
+                let tx = tx.clone();
+                async move {
+                    for i in 0..10u32 {
+                        tx.send(c, 7, 1, 20_000, Payload::new(i)).await.unwrap();
+                    }
+                }
+            });
+            for i in 0..10u32 {
+                let msg = rx.recv().await.unwrap();
+                assert_eq!(
+                    *msg.payload.downcast_ref::<u32>().unwrap(),
+                    i,
+                    "messages must arrive in send order despite drops"
+                );
+                assert_eq!(msg.size_bytes, 20_000);
+            }
+            sender.await;
+            let stats = net.stats();
+            assert!(stats.packet_drops > 0, "injector must have fired");
+            assert!(stats.retransmit_rounds > 0, "loss must force go-back-N");
+            assert_eq!(stats.messages_delivered, 10);
+            assert_eq!(net.link_stats(ab).drops, stats.packet_drops);
+        });
+        sim.run_to_completion();
+    }
+
+    #[test]
     fn virtual_clock_scales_network_time() {
         // At rate 0.5, the same transfer takes 2x the physical time.
         fn run(rate: f64) -> f64 {
