@@ -16,6 +16,10 @@ docs:
     cargo fmt --check
     cargo clippy --workspace --all-targets -- -D warnings
 
+# Determinism & safety static analysis (rule catalog: docs/LINTS.md).
+lint:
+    cargo run -p mgrid-lint -- --format human
+
 fmt:
     cargo fmt --all
 

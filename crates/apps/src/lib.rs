@@ -9,6 +9,8 @@
 //! * [`autopilot`] — Autopilot-style sensors and the RMS-skew internal
 //!   validation of Fig 17.
 
+#![warn(missing_docs)]
+
 pub mod autopilot;
 pub mod npb;
 pub mod wavetoy;

@@ -12,5 +12,7 @@
 //! Criterion benches under `benches/` time the engine and small versions
 //! of each experiment family.
 
+#![warn(missing_docs)]
+
 pub mod experiments;
 pub mod runner;

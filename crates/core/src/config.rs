@@ -118,13 +118,13 @@ impl std::error::Error for ConfigError {}
 impl GridConfig {
     /// Check referential integrity (names resolve, no duplicates).
     pub fn validate(&self) -> Result<(), ConfigError> {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = mgrid_desim::FxHashSet::default();
         for p in &self.physical_hosts {
             if !seen.insert(p.name.clone()) {
                 return Err(ConfigError::DuplicateName(p.name.clone()));
             }
         }
-        let mut nodes = std::collections::HashSet::new();
+        let mut nodes = mgrid_desim::FxHashSet::default();
         for v in &self.virtual_hosts {
             if !seen.insert(v.spec.name.clone()) || !nodes.insert(v.spec.name.clone()) {
                 return Err(ConfigError::DuplicateName(v.spec.name.clone()));

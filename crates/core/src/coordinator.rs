@@ -14,7 +14,7 @@
 //! standing in for NSE's unpredictable compute demand, which the paper
 //! lists as an open problem.
 
-use std::collections::HashMap;
+use mgrid_desim::FxHashMap;
 
 use crate::config::{ConfigError, GridConfig, RatePolicy};
 
@@ -32,7 +32,7 @@ pub struct RatePlan {
 /// Compute the feasible bound and select the rate per the config's policy.
 pub fn plan_rate(config: &GridConfig) -> Result<RatePlan, ConfigError> {
     config.validate()?;
-    let mut demand: HashMap<&str, f64> = HashMap::new();
+    let mut demand: FxHashMap<&str, f64> = FxHashMap::default();
     for v in &config.virtual_hosts {
         *demand.entry(v.mapped_to.as_str()).or_insert(0.0) += v.spec.speed_mops;
     }

@@ -11,11 +11,10 @@
 //! identity clock — the baseline side of every validation figure.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::rc::Rc;
 
 use mgrid_desim::vclock::VirtualClock;
-use mgrid_desim::SimRng;
+use mgrid_desim::{FxHashMap, SimRng};
 use mgrid_gis::{Directory, Dn};
 use mgrid_hostsim::{OsParams, PhysicalHost, PhysicalHostSpec, SchedulerParams};
 use mgrid_middleware::{HostTable, ProcessCtx};
@@ -32,7 +31,7 @@ pub struct VirtualGrid {
     network: Network,
     clock: VirtualClock,
     gis: Rc<RefCell<Directory>>,
-    physical: HashMap<String, PhysicalHost>,
+    physical: FxHashMap<String, PhysicalHost>,
     plan: Option<RatePlan>,
     baseline: bool,
 }
@@ -64,7 +63,7 @@ impl VirtualGrid {
 
         // Virtual network: hosts in config order, then routers.
         let mut b = TopologyBuilder::new();
-        let mut node_of: HashMap<String, NodeId> = HashMap::new();
+        let mut node_of: FxHashMap<String, NodeId> = FxHashMap::default();
         for v in &config.virtual_hosts {
             node_of.insert(v.spec.name.clone(), b.host(&v.spec.name));
         }
@@ -88,7 +87,7 @@ impl VirtualGrid {
 
         // Physical hosts (emulated mode) and the mapping table.
         let table = HostTable::new();
-        let mut physical = HashMap::new();
+        let mut physical = FxHashMap::default();
         if baseline {
             // The virtual hosts ARE the machines.
             for v in &config.virtual_hosts {

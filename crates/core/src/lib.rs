@@ -26,6 +26,8 @@
 //! (information service), [`mgrid_middleware`] (virtualization +
 //! gatekeeper), [`mgrid_mpi`] and [`mgrid_apps`] (workloads).
 
+#![warn(missing_docs)]
+
 pub mod config;
 pub mod coordinator;
 pub mod grid;

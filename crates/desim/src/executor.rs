@@ -81,8 +81,11 @@ struct ReadyQueue {
 
 // SAFETY: all accesses go through `with`, which panics unless running on
 // the thread that created the queue, so the UnsafeCell contents are only
-// ever touched single-threaded.
+// ever touched single-threaded even if the owning Arc moves threads.
 unsafe impl Send for ReadyQueue {}
+// SAFETY: same invariant as Send — shared references only reach the
+// queue through `with`'s owner-thread assertion, so there is never a
+// concurrent access for Sync to make unsound.
 unsafe impl Sync for ReadyQueue {}
 
 impl ReadyQueue {

@@ -7,6 +7,8 @@
 //! addition, so virtualized entries stay subtype-compatible with existing
 //! queries and live in the same servers as physical records.
 
+#![warn(missing_docs)]
+
 pub mod directory;
 pub mod dn;
 pub mod filter;

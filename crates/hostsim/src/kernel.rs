@@ -24,7 +24,6 @@
 //! seconds (the host layer converts abstract "ops" using the CPU speed).
 
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
@@ -33,7 +32,7 @@ use std::task::{Context, Poll, Waker};
 use mgrid_desim::channel::{oneshot, OneshotSender};
 use mgrid_desim::sync::Notify;
 use mgrid_desim::time::{SimDuration, SimTime};
-use mgrid_desim::{now, sleep, spawn_daemon};
+use mgrid_desim::{now, sleep, spawn_daemon, FxHashMap};
 
 /// Identifier of an OS-level process.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
@@ -98,7 +97,9 @@ struct IntrSlot {
 
 struct KernelInner {
     params: OsParams,
-    procs: HashMap<Pid, Pcb>,
+    // FxHashMap keeps lookups cheap; scheduling decisions never depend
+    // on iteration order (`pick` fully orders candidates).
+    procs: FxHashMap<Pid, Pcb>,
     next_pid: u64,
     run_seq: u64,
     current: Option<Pid>,
@@ -127,7 +128,7 @@ impl OsKernel {
         OsKernel {
             inner: Rc::new(RefCell::new(KernelInner {
                 params,
-                procs: HashMap::new(),
+                procs: FxHashMap::default(),
                 next_pid: 1,
                 run_seq: 0,
                 current: None,

@@ -8,10 +8,9 @@
 //! bookkeeping overhead — which we model explicitly.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::rc::Rc;
 
-use mgrid_desim::{obs, Event};
+use mgrid_desim::{obs, Event, FxHashMap};
 
 /// Error returned when an allocation would exceed the virtual host's cap.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,7 +40,7 @@ pub const PROCESS_OVERHEAD: u64 = 1024;
 #[derive(Debug, Default)]
 struct ProcUsage {
     used: u64,
-    allocations: HashMap<u64, u64>,
+    allocations: FxHashMap<u64, u64>,
     next_id: u64,
 }
 
@@ -50,7 +49,7 @@ struct MemState {
     limit: u64,
     used: u64,
     peak: u64,
-    procs: HashMap<u64, ProcUsage>,
+    procs: FxHashMap<u64, ProcUsage>,
     next_proc: u64,
     /// Virtual-host label attached to emitted trace events.
     label: String,
@@ -108,7 +107,7 @@ impl MemoryManager {
                 limit,
                 used: 0,
                 peak: 0,
-                procs: HashMap::new(),
+                procs: FxHashMap::default(),
                 next_proc: 0,
                 label: label.into(),
             })),

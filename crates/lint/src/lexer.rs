@@ -1,0 +1,357 @@
+//! A minimal Rust token scanner.
+//!
+//! The analyzer's rules operate on identifiers and punctuation, never on
+//! full syntax trees, so the lexer only needs to be exact about the things
+//! that would otherwise cause false findings: comments (line, nested
+//! block, doc), string literals (plain, raw, byte), char literals versus
+//! lifetimes, and `::`/`->` grouping. Everything else is passed through as
+//! single-character punctuation.
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (`unsafe`, `HashMap`, ...).
+    Ident(String),
+    /// A single punctuation character.
+    Punct(char),
+    /// The path separator `::`.
+    PathSep,
+    /// The arrow `->` (grouped so `>` counting inside generics stays
+    /// balanced).
+    Arrow,
+    /// A lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+    /// A numeric, string, char, or byte literal (contents discarded).
+    Literal,
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// A comment (line or block) with its starting line.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Comment text without the `//`/`/*` markers.
+    pub text: String,
+    /// Number of source lines the comment spans (1 for line comments).
+    pub lines_spanned: u32,
+}
+
+/// Lexer output: code tokens plus the comment stream.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Scan `src` into tokens and comments.
+pub fn lex(src: &str) -> Lexed {
+    let mut out = Lexed::default();
+    let b: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = b.len();
+    while i < n {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && b[i + 1] == '/' => {
+                let start = i + 2;
+                while i < n && b[i] != '\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    line,
+                    text: b[start..i].iter().collect(),
+                    lines_spanned: 1,
+                });
+            }
+            '/' if i + 1 < n && b[i + 1] == '*' => {
+                let start_line = line;
+                let start = i + 2;
+                let mut depth = 1;
+                i += 2;
+                while i < n && depth > 0 {
+                    if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                let end = i.saturating_sub(2).max(start);
+                out.comments.push(Comment {
+                    line: start_line,
+                    text: b[start..end].iter().collect(),
+                    lines_spanned: line - start_line + 1,
+                });
+            }
+            '"' => {
+                i = skip_string(&b, i, &mut line);
+                out.tokens.push(Token {
+                    tok: Tok::Literal,
+                    line,
+                });
+            }
+            'r' | 'b' if starts_raw_or_byte_string(&b, i) => {
+                let start_line = line;
+                i = skip_raw_or_byte_string(&b, i, &mut line);
+                out.tokens.push(Token {
+                    tok: Tok::Literal,
+                    line: start_line,
+                });
+            }
+            '\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                if is_lifetime(&b, i) {
+                    i += 1;
+                    while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                        i += 1;
+                    }
+                    out.tokens.push(Token {
+                        tok: Tok::Lifetime,
+                        line,
+                    });
+                } else {
+                    i = skip_char_literal(&b, i, &mut line);
+                    out.tokens.push(Token {
+                        tok: Tok::Literal,
+                        line,
+                    });
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    tok: Tok::Ident(b[start..i].iter().collect()),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                // Numbers (including suffixed / underscored / hex forms);
+                // exponents like 1e-9 consume the sign too.
+                while i < n
+                    && (b[i].is_alphanumeric()
+                        || b[i] == '_'
+                        || b[i] == '.'
+                        || ((b[i] == '+' || b[i] == '-')
+                            && matches!(b[i - 1], 'e' | 'E')
+                            && b[i.saturating_sub(2)].is_ascii_digit()))
+                {
+                    // Stop a range like `0..10` from swallowing the dots.
+                    if b[i] == '.' && i + 1 < n && b[i + 1] == '.' {
+                        break;
+                    }
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    tok: Tok::Literal,
+                    line,
+                });
+            }
+            ':' if i + 1 < n && b[i + 1] == ':' => {
+                out.tokens.push(Token {
+                    tok: Tok::PathSep,
+                    line,
+                });
+                i += 2;
+            }
+            '-' if i + 1 < n && b[i + 1] == '>' => {
+                out.tokens.push(Token {
+                    tok: Tok::Arrow,
+                    line,
+                });
+                i += 2;
+            }
+            c => {
+                out.tokens.push(Token {
+                    tok: Tok::Punct(c),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// `'` starts a lifetime when followed by an identifier char that is not
+/// itself closed by another `'` (which would make it a char literal).
+fn is_lifetime(b: &[char], i: usize) -> bool {
+    let n = b.len();
+    if i + 1 >= n {
+        return false;
+    }
+    let c1 = b[i + 1];
+    if !(c1.is_alphabetic() || c1 == '_') {
+        return false;
+    }
+    // 'a' is a char literal; 'a> or 'a, or 'static are lifetimes.
+    !(i + 2 < n && b[i + 2] == '\'')
+}
+
+fn skip_string(b: &[char], mut i: usize, line: &mut u32) -> usize {
+    let n = b.len();
+    i += 1; // opening quote
+    while i < n {
+        match b[i] {
+            '\\' => i += 2,
+            '"' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+fn skip_char_literal(b: &[char], mut i: usize, line: &mut u32) -> usize {
+    let n = b.len();
+    i += 1;
+    while i < n {
+        match b[i] {
+            '\\' => i += 2,
+            '\'' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// True at `r"`, `r#`, `b"`, `br"`, `br#`, `rb...` prefixes that open a
+/// (raw/byte) string rather than an identifier.
+fn starts_raw_or_byte_string(b: &[char], i: usize) -> bool {
+    let n = b.len();
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+        if j < n && b[j] == '"' {
+            return true;
+        }
+    }
+    if j < n && b[j] == 'r' {
+        j += 1;
+        while j < n && b[j] == '#' {
+            j += 1;
+        }
+        return j < n && b[j] == '"';
+    }
+    false
+}
+
+fn skip_raw_or_byte_string(b: &[char], mut i: usize, line: &mut u32) -> usize {
+    let n = b.len();
+    if b[i] == 'b' {
+        i += 1;
+    }
+    if i < n && b[i] == '"' {
+        // b"..." — ordinary escapes apply.
+        return skip_string(b, i, line);
+    }
+    // r#*"..."#*
+    i += 1; // 'r'
+    let mut hashes = 0;
+    while i < n && b[i] == '#' {
+        hashes += 1;
+        i += 1;
+    }
+    i += 1; // opening quote
+    while i < n {
+        if b[i] == '\n' {
+            *line += 1;
+            i += 1;
+            continue;
+        }
+        if b[i] == '"' {
+            let mut k = 0;
+            while k < hashes && i + 1 + k < n && b[i + 1 + k] == '#' {
+                k += 1;
+            }
+            if k == hashes {
+                return i + 1 + hashes;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_not_code() {
+        let l = lex("// Instant::now\n/* HashMap */ let x = 1;");
+        assert_eq!(l.comments.len(), 2);
+        assert!(!idents("// Instant::now\nlet x;").contains(&"Instant".into()));
+    }
+
+    #[test]
+    fn strings_are_opaque() {
+        assert!(!idents(r#"let s = "Instant::now";"#).contains(&"Instant".into()));
+        assert!(!idents(r##"let s = r#"Mutex"#;"##).contains(&"Mutex".into()));
+        assert!(!idents(r#"let s = b"thread_rng";"#).contains(&"thread_rng".into()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes = l.tokens.iter().filter(|t| t.tok == Tok::Lifetime).count();
+        assert_eq!(lifetimes, 2);
+    }
+
+    #[test]
+    fn path_sep_and_lines() {
+        let l = lex("a::b\nc");
+        assert_eq!(l.tokens[1].tok, Tok::PathSep);
+        assert_eq!(l.tokens[3].line, 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* inner */ still */ code");
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(idents("/* a /* b */ c */ x"), vec!["x".to_string()]);
+    }
+}

@@ -1,0 +1,121 @@
+//! # mgrid-lint — determinism & safety static analysis for MicroGrid-rs
+//!
+//! The MicroGrid is only a *scientific* tool if the same seed yields the
+//! same trace (paper §2.3: scaled `gettimeofday`, deterministic CPU
+//! quanta). PR 2 made that a runtime contract (same-seed identical-trace
+//! tests); this crate makes it a compile gate: a zero-dependency source
+//! analyzer that rejects the constructs which break replayability before
+//! any test runs.
+//!
+//! The rules (catalog in `docs/LINTS.md`):
+//!
+//! * **MG001** — no wall-clock reads in sim crates (virtual time only)
+//! * **MG002** — no default-`RandomState` hash containers (stable
+//!   iteration order)
+//! * **MG003** — no ambient randomness (RNGs are seed-threaded)
+//! * **MG004** — every `unsafe` carries a `// SAFETY:` justification
+//! * **MG005** — no OS threads/locks in the deterministic executor path
+//!
+//! Scanning is hand-rolled lexing ([`lexer`]) rather than full parsing:
+//! the workspace builds against vendored dependency stubs only, so `syn`
+//! is unavailable — and the rules need identifier/punctuation fidelity
+//! (comments, strings, lifetimes), not syntax trees.
+//!
+//! Run it as `cargo run -p mgrid-lint` (or `just lint`); configuration
+//! lives in `mgrid-lint.toml` at the workspace root.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+pub use config::{Config, ConfigError};
+pub use report::{render, Finding, Format};
+pub use rules::lint_source;
+
+use std::path::{Path, PathBuf};
+
+/// Result of scanning a whole workspace.
+#[derive(Debug, Default)]
+pub struct ScanResult {
+    /// All findings, ordered by path then line.
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files analyzed.
+    pub files_scanned: usize,
+}
+
+/// Scan every workspace `.rs` file under `root` (excluding the config's
+/// `exclude` prefixes) and apply the rules per crate.
+pub fn lint_workspace(root: &Path, config: &Config) -> std::io::Result<ScanResult> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, config, &mut files)?;
+    files.sort(); // deterministic report order, independent of readdir
+    let mut result = ScanResult::default();
+    for rel in files {
+        let src = std::fs::read_to_string(root.join(&rel))?;
+        let crate_name = crate_of(&rel);
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        result
+            .findings
+            .extend(rules::lint_source(&rel_str, crate_name, &src, config));
+        result.files_scanned += 1;
+    }
+    Ok(result)
+}
+
+/// Which crate a workspace-relative path belongs to: `crates/<name>/...`
+/// maps to `<name>`; root `src/`, `tests/`, `examples/` map to
+/// `"workspace"` (the umbrella crate).
+pub fn crate_of(rel: &Path) -> &str {
+    let mut parts = rel.components();
+    match parts.next().and_then(|c| c.as_os_str().to_str()) {
+        Some("crates") => parts
+            .next()
+            .and_then(|c| c.as_os_str().to_str())
+            .unwrap_or("workspace"),
+        _ => "workspace",
+    }
+}
+
+fn collect_rs_files(
+    root: &Path,
+    dir: &Path,
+    config: &Config,
+    out: &mut Vec<PathBuf>,
+) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let rel = path.strip_prefix(root).unwrap_or(&path);
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        if config
+            .exclude
+            .iter()
+            .any(|e| rel_str == *e || rel_str.starts_with(&format!("{e}/")))
+            || rel_str.starts_with('.')
+        {
+            continue;
+        }
+        let ty = entry.file_type()?;
+        if ty.is_dir() {
+            collect_rs_files(root, &path, config, out)?;
+        } else if rel_str.ends_with(".rs") {
+            out.push(rel.to_path_buf());
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_of_maps_paths() {
+        assert_eq!(crate_of(Path::new("crates/desim/src/lib.rs")), "desim");
+        assert_eq!(crate_of(Path::new("src/lib.rs")), "workspace");
+        assert_eq!(crate_of(Path::new("tests/properties.rs")), "workspace");
+    }
+}

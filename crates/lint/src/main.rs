@@ -1,0 +1,98 @@
+//! The `mgrid-lint` command-line interface.
+//!
+//! ```text
+//! mgrid-lint [--root DIR] [--format human|json] [--config FILE]
+//! ```
+//!
+//! Exits 0 when the tree is clean, 1 on findings, 2 on usage or I/O
+//! errors — so CI can gate on it directly.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mgrid_lint::{lint_workspace, render, Config, Format};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(msg) => {
+            eprintln!("mgrid-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<bool, String> {
+    let mut format = Format::Human;
+    let mut root: Option<PathBuf> = None;
+    let mut config_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => {
+                let v = args.next().ok_or("--format needs a value")?;
+                format = match v.as_str() {
+                    "human" => Format::Human,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format {other:?} (human|json)")),
+                };
+            }
+            "--root" => root = Some(PathBuf::from(args.next().ok_or("--root needs a value")?)),
+            "--config" => {
+                config_path = Some(PathBuf::from(args.next().ok_or("--config needs a value")?))
+            }
+            "--help" | "-h" => {
+                println!(
+                    "mgrid-lint: determinism & safety static analysis for MicroGrid-rs\n\n\
+                     USAGE: mgrid-lint [--root DIR] [--format human|json] [--config FILE]\n\n\
+                     Exit status: 0 clean, 1 findings, 2 error.\n\
+                     Rule catalog: docs/LINTS.md; config: mgrid-lint.toml."
+                );
+                return Ok(true);
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => find_workspace_root()?,
+    };
+    let config = match config_path {
+        Some(p) => {
+            let text =
+                std::fs::read_to_string(&p).map_err(|e| format!("reading {}: {e}", p.display()))?;
+            Config::parse(&text).map_err(|e| e.to_string())?
+        }
+        None => Config::load(&root).map_err(|e| e.to_string())?,
+    };
+
+    let result = lint_workspace(&root, &config).map_err(|e| format!("scanning workspace: {e}"))?;
+    print!("{}", render(&result.findings, result.files_scanned, format));
+    Ok(result.findings.is_empty())
+}
+
+/// Walk upward from the current directory to the first directory holding
+/// `mgrid-lint.toml` or a workspace `Cargo.toml`.
+fn find_workspace_root() -> Result<PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| e.to_string())?;
+    loop {
+        if dir.join("mgrid-lint.toml").is_file() {
+            return Ok(dir);
+        }
+        if let Ok(manifest) = std::fs::read_to_string(dir.join("Cargo.toml")) {
+            if manifest.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err("no mgrid-lint.toml or workspace Cargo.toml above cwd".into());
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Findings and output formatting (`--format human|json`).
+
+use std::fmt;
+
+/// A rule violation at one source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule code, e.g. `MG001`.
+    pub code: &'static str,
+    /// Path of the offending file, relative to the workspace root.
+    pub path: String,
+    /// 1-based line of the violation.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} {}",
+            self.path, self.line, self.code, self.message
+        )
+    }
+}
+
+/// Output format selected on the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// One `path:line: CODE message` line per finding.
+    Human,
+    /// A single JSON object (machine-readable, stable key order).
+    Json,
+}
+
+/// Render `findings` in the requested format. `files_scanned` feeds the
+/// summary line / JSON field.
+pub fn render(findings: &[Finding], files_scanned: usize, format: Format) -> String {
+    match format {
+        Format::Human => {
+            let mut s = String::new();
+            for f in findings {
+                s.push_str(&f.to_string());
+                s.push('\n');
+            }
+            s.push_str(&format!(
+                "mgrid-lint: {} finding{} in {} file{} scanned\n",
+                findings.len(),
+                if findings.len() == 1 { "" } else { "s" },
+                files_scanned,
+                if files_scanned == 1 { "" } else { "s" },
+            ));
+            s
+        }
+        Format::Json => {
+            let mut s = String::from("{\"findings\":[");
+            for (i, f) in findings.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!(
+                    "{{\"code\":{},\"path\":{},\"line\":{},\"message\":{}}}",
+                    json_str(f.code),
+                    json_str(&f.path),
+                    f.line,
+                    json_str(&f.message)
+                ));
+            }
+            s.push_str(&format!(
+                "],\"files_scanned\":{},\"total\":{}}}\n",
+                files_scanned,
+                findings.len()
+            ));
+            s
+        }
+    }
+}
+
+/// Escape a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Finding> {
+        vec![Finding {
+            code: "MG001",
+            path: "crates/desim/src/time.rs".into(),
+            line: 7,
+            message: "wall-clock read `Instant::now` in a sim crate".into(),
+        }]
+    }
+
+    #[test]
+    fn human_format_lists_and_summarizes() {
+        let s = render(&sample(), 3, Format::Human);
+        assert!(s.contains("crates/desim/src/time.rs:7: MG001"));
+        assert!(s.contains("1 finding in 3 files scanned"));
+    }
+
+    #[test]
+    fn json_format_is_parseable_shape() {
+        let s = render(&sample(), 3, Format::Json);
+        assert!(s.starts_with("{\"findings\":[{\"code\":\"MG001\""));
+        assert!(s.trim_end().ends_with("\"files_scanned\":3,\"total\":1}"));
+    }
+
+    #[test]
+    fn json_escapes_specials() {
+        assert_eq!(json_str("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+    }
+}

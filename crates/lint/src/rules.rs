@@ -1,0 +1,539 @@
+//! The rule engine: MG001–MG005 over the token stream.
+//!
+//! | Code  | Protects                                                    |
+//! |-------|-------------------------------------------------------------|
+//! | MG000 | suppression hygiene (`// mgrid-lint: allow(...)` needs a reason) |
+//! | MG001 | virtual time: no `Instant::now`/`SystemTime::now` in sim crates |
+//! | MG002 | stable iteration: no default-`RandomState` `HashMap`/`HashSet`  |
+//! | MG003 | seed-threaded RNGs: no `thread_rng`/`rand::random`/`OsRng`      |
+//! | MG004 | auditable unsafety: every `unsafe` has a `// SAFETY:` comment   |
+//! | MG005 | single-threaded determinism: no `thread::spawn`/`Mutex`         |
+//!
+//! Code inside `#[cfg(test)]` items is exempt from every rule: tests may
+//! time themselves and allocate scratch maps freely. A finding on line
+//! `N` can be suppressed by `// mgrid-lint: allow(MGxxx) reason` on line
+//! `N` or `N-1`; the reason is mandatory (MG000 otherwise).
+
+use crate::config::Config;
+use crate::lexer::{lex, Tok, Token};
+use crate::report::Finding;
+
+/// Every rule code the engine can emit (config validation uses this).
+pub const KNOWN_CODES: &[&str] = &["MG000", "MG001", "MG002", "MG003", "MG004", "MG005"];
+
+/// How far above an `unsafe` the `// SAFETY:` comment may start, in lines
+/// of contiguous comment/attribute.
+const SAFETY_SEARCH_LINES: u32 = 30;
+
+#[derive(Default, Clone)]
+struct LineFlags {
+    has_code: bool,
+    first_is_hash: bool,
+    has_comment: bool,
+    safety: bool,
+}
+
+struct Suppression {
+    /// Lines the comment occupies (a multi-line block comment covers all
+    /// of them); the suppression applies to these lines and the next one.
+    first_line: u32,
+    last_line: u32,
+    codes: Vec<String>,
+    has_reason: bool,
+}
+
+/// Analyze one file's source. `crate_name` selects which rules apply per
+/// the config; `path` is only echoed into findings.
+pub fn lint_source(path: &str, crate_name: &str, src: &str, config: &Config) -> Vec<Finding> {
+    let lexed = lex(src);
+    let nlines = src.lines().count() as u32 + 1;
+    let mut flags = vec![LineFlags::default(); nlines as usize + 2];
+
+    for t in &lexed.tokens {
+        let f = &mut flags[t.line as usize];
+        if !f.has_code {
+            f.first_is_hash = t.tok == Tok::Punct('#');
+        }
+        f.has_code = true;
+    }
+    let mut suppressions: Vec<Suppression> = Vec::new();
+    let mut findings: Vec<Finding> = Vec::new();
+    for c in &lexed.comments {
+        for l in c.line..c.line + c.lines_spanned {
+            if let Some(f) = flags.get_mut(l as usize) {
+                f.has_comment = true;
+                if c.text.contains("SAFETY:") {
+                    f.safety = true;
+                }
+            }
+        }
+        let text = c.text.trim();
+        if let Some(rest) = text.strip_prefix("mgrid-lint:") {
+            match parse_suppression(rest) {
+                Some((codes, has_reason)) => suppressions.push(Suppression {
+                    first_line: c.line,
+                    last_line: c.line + c.lines_spanned - 1,
+                    codes,
+                    has_reason,
+                }),
+                None => findings.push(Finding {
+                    code: "MG000",
+                    path: path.to_string(),
+                    line: c.line,
+                    message: "malformed suppression; expected \
+                              `mgrid-lint: allow(MGxxx[, MGyyy]) reason`"
+                        .into(),
+                }),
+            }
+        }
+    }
+
+    let enabled = |code: &str| config.code_enabled(crate_name, code);
+    let toks = &lexed.tokens;
+    let n = toks.len();
+    let mut i = 0usize;
+    let mut in_use = false;
+    while i < n {
+        // `#[cfg(test)]` (outer attribute): skip the attached item.
+        if toks[i].tok == Tok::Punct('#')
+            && matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('[')))
+        {
+            let (end, is_cfg_test) = scan_attribute(toks, i + 1);
+            i = end;
+            if is_cfg_test {
+                i = skip_attributes(toks, i);
+                i = skip_item(toks, i);
+            }
+            continue;
+        }
+
+        match &toks[i].tok {
+            Tok::Ident(id) => {
+                let line = toks[i].line;
+                match id.as_str() {
+                    "use" => in_use = true,
+                    "Instant" | "SystemTime" if enabled("MG001") => {
+                        if in_use {
+                            push(&mut findings, "MG001", path, line, format!(
+                                "import of wall-clock type `{id}` in a sim crate — simulation code must use virtual time (`mgrid_desim::now`)"
+                            ));
+                        } else if path_call(toks, i, "now") {
+                            push(&mut findings, "MG001", path, line, format!(
+                                "wall-clock read `{id}::now` — simulation code must use virtual time (`mgrid_desim::now`)"
+                            ));
+                        }
+                    }
+                    "HashMap" | "HashSet" if enabled("MG002") => {
+                        let needed = if id == "HashMap" { 3 } else { 2 };
+                        let violation = if in_use {
+                            true
+                        } else {
+                            match explicit_generic_args(toks, i + 1) {
+                                Some(args) => args < needed,
+                                None => true, // `HashMap::new()`, bare mention
+                            }
+                        };
+                        if violation {
+                            push(&mut findings, "MG002", path, line, format!(
+                                "default-`RandomState` `{id}` — iteration order varies per process; use `mgrid_desim::Fx{id}` or `BTree{}`",
+                                &id[4..]
+                            ));
+                        }
+                    }
+                    "thread_rng" | "OsRng" | "from_entropy" if enabled("MG003") => {
+                        push(&mut findings, "MG003", path, line, format!(
+                            "ambient randomness `{id}` — RNGs must be seed-threaded (`mgrid_desim::SimRng`)"
+                        ));
+                    }
+                    "rand" if enabled("MG003") && path_call(toks, i, "random") => {
+                        push(&mut findings, "MG003", path, line,
+                            "ambient randomness `rand::random` — RNGs must be seed-threaded (`mgrid_desim::SimRng`)".into(),
+                        );
+                    }
+                    "unsafe" if enabled("MG004") && !safety_justified(&flags, line) => {
+                        push(
+                            &mut findings,
+                            "MG004",
+                            path,
+                            line,
+                            "`unsafe` without a preceding `// SAFETY:` justification".into(),
+                        );
+                    }
+                    "thread" if enabled("MG005") && path_call(toks, i, "spawn") => {
+                        push(&mut findings, "MG005", path, line,
+                            "`thread::spawn` in the deterministic executor path — use `mgrid_desim::spawn`/`spawn_daemon`".into(),
+                        );
+                    }
+                    "Mutex" | "RwLock" | "Condvar" if enabled("MG005") && !in_use => {
+                        push(&mut findings, "MG005", path, line, format!(
+                            "OS synchronization `{id}` in the deterministic executor path — use `mgrid_desim::sync` primitives"
+                        ));
+                    }
+                    "Mutex" | "RwLock" | "Condvar" if enabled("MG005") && in_use => {
+                        push(&mut findings, "MG005", path, line, format!(
+                            "import of OS synchronization `{id}` in a sim crate — use `mgrid_desim::sync` primitives"
+                        ));
+                    }
+                    _ => {}
+                }
+            }
+            Tok::Punct(';') => in_use = false,
+            _ => {}
+        }
+        i += 1;
+    }
+
+    // Apply suppressions, then report reason-less ones that matched.
+    let mut used_without_reason: Vec<u32> = Vec::new();
+    findings.retain(|f| {
+        if f.code == "MG000" {
+            return true;
+        }
+        for s in &suppressions {
+            let covers = f.line >= s.first_line && f.line <= s.last_line + 1;
+            if covers && s.codes.iter().any(|c| c == f.code) {
+                if !s.has_reason {
+                    used_without_reason.push(s.first_line);
+                }
+                return false;
+            }
+        }
+        true
+    });
+    for line in used_without_reason {
+        push(
+            &mut findings,
+            "MG000",
+            path,
+            line,
+            "suppression without a reason — write `mgrid-lint: allow(MGxxx) <why this is sound>`"
+                .into(),
+        );
+    }
+    findings.sort_by(|a, b| (a.line, a.code).cmp(&(b.line, b.code)));
+    findings
+}
+
+fn push(findings: &mut Vec<Finding>, code: &'static str, path: &str, line: u32, message: String) {
+    findings.push(Finding {
+        code,
+        path: path.to_string(),
+        line,
+        message,
+    });
+}
+
+/// `allow(MG001, MG002) reason...` → (codes, has_reason).
+fn parse_suppression(rest: &str) -> Option<(Vec<String>, bool)> {
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let codes: Vec<String> = rest[..close]
+        .split(',')
+        .map(|c| c.trim().to_string())
+        .filter(|c| !c.is_empty())
+        .collect();
+    if codes.is_empty() || codes.iter().any(|c| !KNOWN_CODES.contains(&c.as_str())) {
+        return None;
+    }
+    let reason = rest[close + 1..].trim();
+    Some((codes, !reason.is_empty()))
+}
+
+/// Is `toks[i]` followed by `::ident`? (`Instant::now`, `thread::spawn`.)
+fn path_call(toks: &[Token], i: usize, ident: &str) -> bool {
+    matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::PathSep))
+        && matches!(toks.get(i + 2).map(|t| &t.tok), Some(Tok::Ident(s)) if s == ident)
+}
+
+/// If the tokens at `j` open a generic-argument list (`<...>` directly or
+/// via turbofish `::<...>`), count its top-level arguments; `None` when no
+/// generics follow. An explicit third `HashMap` argument names a hasher.
+fn explicit_generic_args(toks: &[Token], mut j: usize) -> Option<usize> {
+    if matches!(toks.get(j).map(|t| &t.tok), Some(Tok::PathSep))
+        && matches!(toks.get(j + 1).map(|t| &t.tok), Some(Tok::Punct('<')))
+    {
+        j += 1;
+    }
+    if !matches!(toks.get(j).map(|t| &t.tok), Some(Tok::Punct('<'))) {
+        return None;
+    }
+    let mut depth = 1i32;
+    // Tuple keys (`HashMap<(u32, u16), V>`) and array types carry commas
+    // of their own: only count separators outside any nesting.
+    let mut nest = 0i32;
+    let mut commas = 0usize;
+    let mut any = false;
+    for t in toks.iter().skip(j + 1).take(256) {
+        match t.tok {
+            Tok::Punct('<') => depth += 1,
+            Tok::Punct('>') => {
+                depth -= 1;
+                if depth == 0 {
+                    return if any { Some(commas + 1) } else { Some(0) };
+                }
+            }
+            Tok::Punct('(') | Tok::Punct('[') => nest += 1,
+            Tok::Punct(')') | Tok::Punct(']') => nest -= 1,
+            Tok::Punct(',') if depth == 1 && nest == 0 => commas += 1,
+            // A statement boundary means this `<` was a comparison.
+            Tok::Punct(';') | Tok::Punct('{') => return None,
+            _ => any = true,
+        }
+    }
+    None
+}
+
+/// Walk upward from the line above `line` through comments and
+/// attributes looking for a `SAFETY:` comment (same-line comments count
+/// too).
+fn safety_justified(flags: &[LineFlags], line: u32) -> bool {
+    if flags[line as usize].safety {
+        return true;
+    }
+    let stop = line.saturating_sub(SAFETY_SEARCH_LINES);
+    let mut l = line.saturating_sub(1);
+    while l > stop {
+        let f = &flags[l as usize];
+        if f.safety {
+            return true;
+        }
+        let continue_up = (f.has_code && f.first_is_hash) || (!f.has_code && f.has_comment);
+        if !continue_up {
+            return false;
+        }
+        l -= 1;
+    }
+    false
+}
+
+/// Scan an attribute starting at the `[` token index; returns (index one
+/// past the closing `]`, attribute-is-`cfg(...test...)`).
+fn scan_attribute(toks: &[Token], open: usize) -> (usize, bool) {
+    let mut depth = 0i32;
+    let mut has_cfg = false;
+    let mut has_test = false;
+    // `#[cfg(not(test))]` guards production code: never exempt it. (The
+    // cost is that `cfg(all(test, not(...)))` items get linted too, which
+    // errs on the side of catching real violations.)
+    let mut has_not = false;
+    let mut i = open;
+    while i < toks.len() {
+        match &toks[i].tok {
+            Tok::Punct('[') => depth += 1,
+            Tok::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return (i + 1, has_cfg && has_test && !has_not);
+                }
+            }
+            Tok::Ident(s) if s == "cfg" => has_cfg = true,
+            Tok::Ident(s) if s == "test" => has_test = true,
+            Tok::Ident(s) if s == "not" => has_not = true,
+            _ => {}
+        }
+        i += 1;
+    }
+    (i, false)
+}
+
+/// Skip any further `#[...]` attributes, returning the index of the first
+/// non-attribute token.
+fn skip_attributes(toks: &[Token], mut i: usize) -> usize {
+    while i < toks.len()
+        && toks[i].tok == Tok::Punct('#')
+        && matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('[')))
+    {
+        let (end, _) = scan_attribute(toks, i + 1);
+        i = end;
+    }
+    i
+}
+
+/// Skip one item: everything up to and including its closing `}` or a
+/// `;`/`,` at brace depth zero (fields, statements, `use` declarations).
+fn skip_item(toks: &[Token], mut i: usize) -> usize {
+    let mut depth = 0i32;
+    while i < toks.len() {
+        match toks[i].tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                if depth == 0 {
+                    return i; // enclosing block's close — not ours
+                }
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            Tok::Punct(';') | Tok::Punct(',') if depth == 0 => return i + 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        lint_source("f.rs", "desim", src, &Config::default())
+    }
+
+    fn codes(src: &str) -> Vec<(&'static str, u32)> {
+        run(src).into_iter().map(|f| (f.code, f.line)).collect()
+    }
+
+    #[test]
+    fn wall_clock_flagged_with_line() {
+        let src = "fn f() {\n    let t = std::time::Instant::now();\n}\n";
+        assert_eq!(codes(src), vec![("MG001", 2)]);
+    }
+
+    #[test]
+    fn wall_clock_import_flagged() {
+        assert_eq!(codes("use std::time::Instant;\n"), vec![("MG001", 1)]);
+    }
+
+    #[test]
+    fn virtual_now_is_fine() {
+        assert!(codes("fn f() { let t = mgrid_desim::now(); }").is_empty());
+    }
+
+    #[test]
+    fn default_hashmap_flagged_explicit_hasher_ok() {
+        assert_eq!(codes("type M = HashMap<u32, u32>;"), vec![("MG002", 1)]);
+        assert!(codes("type M = std::collections::HashMap<u32, u32, FxBuildHasher>;").is_empty());
+        assert_eq!(codes("let m = HashMap::new();"), vec![("MG002", 1)]);
+        assert!(codes("let m = HashMap::<u32, u32, FxBuildHasher>::default();").is_empty());
+        assert_eq!(codes("let s: HashSet<u8> = HashSet::default();").len(), 2);
+        assert!(codes("type S = HashSet<u8, FxBuildHasher>;").is_empty());
+    }
+
+    #[test]
+    fn nested_generics_counted_at_top_level() {
+        assert_eq!(
+            codes("type M = HashMap<K, Vec<(u8, u8)>>;"),
+            vec![("MG002", 1)]
+        );
+        assert!(codes("type M = HashMap<K, Vec<(u8, u8)>, S>;").is_empty());
+        // Commas inside tuple keys are not argument separators.
+        assert_eq!(
+            codes("type M = HashMap<(usize, u64), Data>;"),
+            vec![("MG002", 1)]
+        );
+        assert!(codes("type M = HashMap<(usize, u64), Data, S>;").is_empty());
+    }
+
+    #[test]
+    fn ambient_randomness_flagged() {
+        assert_eq!(codes("let x = rand::thread_rng();"), vec![("MG003", 1)]);
+        assert_eq!(codes("let x: u8 = rand::random();"), vec![("MG003", 1)]);
+        assert_eq!(
+            codes("let r = SmallRng::from_entropy();"),
+            vec![("MG003", 1)]
+        );
+    }
+
+    #[test]
+    fn unsafe_requires_safety_comment() {
+        assert_eq!(codes("fn f() { unsafe { work() } }"), vec![("MG004", 1)]);
+        assert!(
+            codes("// SAFETY: single-threaded by construction\nunsafe impl Send for X {}")
+                .is_empty()
+        );
+        // Multi-line SAFETY comment: the marker may sit above continuation
+        // lines.
+        assert!(codes(
+            "// SAFETY: the pointer is valid because\n// the arena outlives all handles\nunsafe fn g() {}"
+        )
+        .is_empty());
+        // Attributes between the comment and the item are fine.
+        assert!(codes("// SAFETY: no aliasing\n#[inline]\nunsafe fn g() {}").is_empty());
+    }
+
+    #[test]
+    fn paired_unsafe_impls_need_their_own_safety() {
+        let src =
+            "// SAFETY: single-threaded\nunsafe impl Send for X {}\nunsafe impl Sync for X {}\n";
+        assert_eq!(codes(src), vec![("MG004", 3)]);
+    }
+
+    #[test]
+    fn blank_line_breaks_safety_association() {
+        assert_eq!(
+            codes("// SAFETY: stale\n\nunsafe fn g() {}"),
+            vec![("MG004", 3)]
+        );
+    }
+
+    #[test]
+    fn os_threads_and_locks_flagged() {
+        assert_eq!(codes("std::thread::spawn(|| {});"), vec![("MG005", 1)]);
+        assert_eq!(codes("let m = Mutex::new(0);"), vec![("MG005", 1)]);
+        assert_eq!(codes("use std::sync::Mutex;"), vec![("MG005", 1)]);
+        // Our own primitives and thread-id reads are fine.
+        assert!(codes("let m = SimMutex::new(0);").is_empty());
+        assert!(codes("let id = std::thread::current().id();").is_empty());
+    }
+
+    #[test]
+    fn cfg_test_items_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    use std::time::Instant;\n    fn t() { let m = HashMap::new(); }\n}\n";
+        assert!(codes(src).is_empty());
+        // ...but following items are not.
+        let src2 = "#[cfg(test)]\nmod tests { }\nfn f() { let t = Instant::now(); }\n";
+        assert_eq!(codes(src2), vec![("MG001", 3)]);
+    }
+
+    #[test]
+    fn cfg_all_test_also_exempt() {
+        let src = "#[cfg(all(test, feature = \"x\"))]\nfn t() { let m = HashMap::new(); }\n";
+        assert!(codes(src).is_empty());
+    }
+
+    #[test]
+    fn suppression_with_reason_works() {
+        let src =
+            "// mgrid-lint: allow(MG002) FFI boundary needs std hasher\nlet m = HashMap::new();\n";
+        assert!(codes(src).is_empty());
+        // Same-line suppression.
+        let src2 = "let m = HashMap::new(); // mgrid-lint: allow(MG002) interop\n";
+        assert!(codes(src2).is_empty());
+    }
+
+    #[test]
+    fn suppression_without_reason_is_mg000() {
+        let src = "// mgrid-lint: allow(MG002)\nlet m = HashMap::new();\n";
+        assert_eq!(codes(src), vec![("MG000", 1)]);
+    }
+
+    #[test]
+    fn suppression_only_masks_listed_codes() {
+        let src = "// mgrid-lint: allow(MG002) maps fine here\nlet t = Instant::now();\n";
+        assert_eq!(codes(src), vec![("MG001", 2)]);
+    }
+
+    #[test]
+    fn malformed_suppression_is_mg000() {
+        assert_eq!(codes("// mgrid-lint: allow(MG9)\n"), vec![("MG000", 1)]);
+        assert_eq!(codes("// mgrid-lint: allow MG001\n"), vec![("MG000", 1)]);
+    }
+
+    #[test]
+    fn non_sim_crate_only_gets_unsafe_rules() {
+        let src = "use std::time::Instant;\nfn f() { unsafe { x() } }\n";
+        let f = lint_source("b.rs", "bench", src, &Config::default());
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].code, "MG004");
+    }
+
+    #[test]
+    fn strings_and_comments_never_flag() {
+        assert!(codes("// Instant::now() and HashMap::new() discussed here\n").is_empty());
+        assert!(codes("let s = \"Instant::now\";").is_empty());
+    }
+}

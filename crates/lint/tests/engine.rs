@@ -1,0 +1,160 @@
+//! Fixture-based engine tests: known-bad snippets must produce exactly
+//! the expected rule codes at the expected lines; known-good snippets
+//! must be clean; the binary must exit nonzero on findings.
+
+use std::path::Path;
+
+use mgrid_lint::{lint_source, lint_workspace, Config, Finding};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
+}
+
+/// Lint a fixture as if it lived in a sim crate.
+fn lint_fixture(name: &str) -> Vec<Finding> {
+    lint_source(name, "desim", &fixture(name), &Config::default())
+}
+
+fn codes_and_lines(name: &str) -> Vec<(String, u32)> {
+    lint_fixture(name)
+        .into_iter()
+        .map(|f| (f.code.to_string(), f.line))
+        .collect()
+}
+
+fn expect(name: &str, expected: &[(&str, u32)]) {
+    let got = codes_and_lines(name);
+    let want: Vec<(String, u32)> = expected.iter().map(|(c, l)| (c.to_string(), *l)).collect();
+    assert_eq!(got, want, "unexpected findings for {name}");
+}
+
+#[test]
+fn wall_clock_fixture_exact_codes_and_lines() {
+    expect(
+        "bad_wall_clock.rs",
+        &[("MG001", 2), ("MG001", 3), ("MG001", 6), ("MG001", 7)],
+    );
+}
+
+#[test]
+fn hash_container_fixture_exact_codes_and_lines() {
+    expect(
+        "bad_hash_containers.rs",
+        &[
+            ("MG002", 2),
+            ("MG002", 5),
+            ("MG002", 6),
+            ("MG002", 9),
+            ("MG002", 10),
+        ],
+    );
+}
+
+#[test]
+fn randomness_fixture_exact_codes_and_lines() {
+    expect(
+        "bad_randomness.rs",
+        &[("MG003", 4), ("MG003", 5), ("MG003", 6)],
+    );
+}
+
+#[test]
+fn unsafe_fixture_exact_codes_and_lines() {
+    expect("bad_unsafe.rs", &[("MG004", 5), ("MG004", 8)]);
+}
+
+#[test]
+fn thread_fixture_exact_codes_and_lines() {
+    expect("bad_thread.rs", &[("MG005", 2), ("MG005", 5), ("MG005", 6)]);
+}
+
+#[test]
+fn clean_fixture_has_no_findings() {
+    expect("good_clean.rs", &[]);
+}
+
+#[test]
+fn reasoned_suppressions_silence_findings() {
+    expect("good_suppressed.rs", &[]);
+}
+
+#[test]
+fn suppression_hygiene_fixture() {
+    // Line 3's reasonless suppression masks line 4 but earns MG000; line
+    // 5 is outside its range so the MG002 stands; line 8 is malformed.
+    expect(
+        "bad_suppression.rs",
+        &[("MG000", 3), ("MG002", 5), ("MG000", 8)],
+    );
+}
+
+#[test]
+fn findings_in_non_sim_crates_are_limited_to_unsafe_rules() {
+    let src = fixture("bad_wall_clock.rs");
+    let f = lint_source("bad_wall_clock.rs", "bench", &src, &Config::default());
+    assert!(f.is_empty(), "bench crate must not get MG001: {f:?}");
+}
+
+#[test]
+fn workspace_scan_aggregates_fixtures_deterministically() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let mut config = Config::default();
+    config.exclude.clear();
+    config.sim_crates = vec!["workspace".to_string()];
+    let a = lint_workspace(&root, &config).unwrap();
+    let b = lint_workspace(&root, &config).unwrap();
+    assert_eq!(a.findings, b.findings, "scan must be deterministic");
+    assert_eq!(a.files_scanned, 8);
+    // 4 wall-clock + 5 hash + 3 rand + 2 unsafe + 3 thread + 3 hygiene.
+    assert_eq!(a.findings.len(), 20);
+    // Ordered by path: stable report output.
+    let paths: Vec<&str> = a.findings.iter().map(|f| f.path.as_str()).collect();
+    let mut sorted = paths.clone();
+    sorted.sort();
+    assert_eq!(paths, sorted);
+}
+
+#[test]
+fn binary_exits_nonzero_on_bad_fixtures_and_zero_when_clean() {
+    let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let cfg = std::env::temp_dir().join("mgrid-lint-test-config.toml");
+    std::fs::write(&cfg, "[lint]\nsim-crates = [\"workspace\"]\nexclude = []\n").unwrap();
+
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_mgrid-lint"))
+        .args(["--root"])
+        .arg(&fixtures)
+        .args(["--config"])
+        .arg(&cfg)
+        .args(["--format", "json"])
+        .output()
+        .expect("run mgrid-lint");
+    assert_eq!(out.status.code(), Some(1), "findings must exit 1");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("\"code\":\"MG001\""),
+        "json output: {stdout}"
+    );
+    assert!(stdout.contains("\"total\":20"), "json output: {stdout}");
+
+    // A scan restricted to the known-good fixtures exits 0.
+    let clean_dir = std::env::temp_dir().join("mgrid-lint-test-clean");
+    let _ = std::fs::remove_dir_all(&clean_dir);
+    std::fs::create_dir_all(&clean_dir).unwrap();
+    for good in ["good_clean.rs", "good_suppressed.rs"] {
+        std::fs::copy(fixtures.join(good), clean_dir.join(good)).unwrap();
+    }
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_mgrid-lint"))
+        .args(["--root"])
+        .arg(&clean_dir)
+        .args(["--config"])
+        .arg(&cfg)
+        .args(["--format", "human"])
+        .output()
+        .expect("run mgrid-lint");
+    assert_eq!(out.status.code(), Some(0), "clean tree must exit 0");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("0 findings in 2 files scanned"), "{stdout}");
+}

@@ -1,0 +1,15 @@
+//! Known-bad fixture: default-RandomState hash containers.
+use std::collections::HashMap;
+
+struct State {
+    routes: HashMap<u32, Vec<u32>>,
+    seen: std::collections::HashSet<u64>,
+}
+
+fn build() -> HashMap<String, u64> {
+    HashMap::new()
+}
+
+// Explicit hashers and ordered maps are fine.
+type Stable = std::collections::HashMap<u32, u32, FxBuildHasher>;
+type Ordered = std::collections::BTreeMap<u32, u32>;

@@ -1,0 +1,9 @@
+//! Known-bad fixture: ambient (non-seed-threaded) randomness.
+
+fn jitter() -> f64 {
+    let mut rng = rand::thread_rng();
+    let x: f64 = rand::random();
+    let r = SmallRng::from_entropy();
+    let _ = (rng, r);
+    x
+}

@@ -1,0 +1,9 @@
+//! Known-bad fixture: suppressions that fail hygiene.
+
+// mgrid-lint: allow(MG002)
+fn no_reason() -> std::collections::HashMap<String, u64> {
+    std::collections::HashMap::new()
+}
+
+// mgrid-lint: allow(BOGUS) not a real code
+fn malformed() {}

@@ -1,0 +1,9 @@
+//! Known-bad fixture: OS threads and locks in the deterministic path.
+use std::sync::Mutex;
+
+fn fan_out() {
+    let shared = Mutex::new(Vec::new());
+    let h = std::thread::spawn(move || {});
+    h.join().unwrap();
+    let _ = shared;
+}

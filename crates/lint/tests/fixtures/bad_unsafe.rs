@@ -1,0 +1,18 @@
+//! Known-bad fixture: unsafe without SAFETY justifications.
+
+struct Queue(*mut u8);
+
+unsafe impl Send for Queue {}
+
+fn touch(q: &Queue) -> u8 {
+    unsafe { *q.0 }
+}
+
+// SAFETY: the queue pointer is owned and never aliased.
+unsafe impl Sync for Queue {}
+
+fn touch_justified(q: &Queue) -> u8 {
+    // SAFETY: callers hold the owning reference, so the pointer is
+    // valid for reads for the lifetime of `q`.
+    unsafe { *q.0 }
+}

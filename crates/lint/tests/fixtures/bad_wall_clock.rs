@@ -1,0 +1,18 @@
+//! Known-bad fixture: wall-clock reads in simulation code.
+use std::time::Instant;
+use std::time::SystemTime;
+
+fn elapsed_wrong() -> u64 {
+    let t0 = Instant::now();
+    let wall = SystemTime::now();
+    let _ = wall;
+    t0.elapsed().as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    // Tests may time themselves: exempt.
+    fn timing_ok() {
+        let _t = std::time::Instant::now();
+    }
+}

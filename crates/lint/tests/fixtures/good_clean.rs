@@ -1,0 +1,27 @@
+//! Known-good fixture: virtual time, stable maps, seeded RNG, justified
+//! unsafety, simulation-native concurrency.
+use mgrid_desim::{now, spawn_daemon, FxHashMap, SimRng};
+use std::collections::BTreeMap;
+
+struct Engine {
+    inflight: FxHashMap<u64, u64>,
+    ordered: BTreeMap<String, u64>,
+    rng: SimRng,
+}
+
+struct Cell(std::cell::UnsafeCell<u64>);
+
+// SAFETY: the engine is single-threaded by construction; the cell is
+// only touched from the owning simulation thread.
+unsafe impl Sync for Cell {}
+
+fn tick(e: &mut Engine) -> u64 {
+    let t = now();
+    spawn_daemon(async {});
+    let noise = e.rng.below(10);
+    t.as_nanos() + noise
+}
+
+// Mentioning Instant::now, HashMap::new or Mutex in comments (or in
+// "Instant::now string literals") is not a finding.
+fn doc_only() {}

@@ -1,0 +1,11 @@
+//! Known-good fixture: violations carrying reasoned suppressions.
+
+// mgrid-lint: allow(MG002) interop with an external API that demands RandomState
+fn external() -> std::collections::HashMap<String, u64> {
+    // mgrid-lint: allow(MG002) same interop boundary as above
+    std::collections::HashMap::new()
+}
+
+fn measured() {
+    let _t = std::time::Instant::now(); // mgrid-lint: allow(MG001) self-profiling scaffold, stripped in release
+}

@@ -14,12 +14,11 @@
 //! completion back to the client.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
 
-use mgrid_desim::spawn;
+use mgrid_desim::{spawn, FxHashMap};
 use mgrid_netsim::Payload;
 
 use crate::process::ProcessCtx;
@@ -138,7 +137,7 @@ pub type AppFactory = Rc<dyn Fn(AppInstance) -> AppFuture>;
 /// binaries a real jobmanager would exec.
 #[derive(Clone, Default)]
 pub struct ExecutableRegistry {
-    map: Rc<RefCell<HashMap<String, AppFactory>>>,
+    map: Rc<RefCell<FxHashMap<String, AppFactory>>>,
 }
 
 impl ExecutableRegistry {

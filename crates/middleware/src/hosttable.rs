@@ -11,9 +11,9 @@
 //! compute slot on a physical host (where its cycles come from).
 
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::rc::Rc;
 
+use mgrid_desim::FxHashMap;
 use mgrid_hostsim::VirtualHost;
 use mgrid_netsim::NodeId;
 
@@ -34,9 +34,9 @@ pub struct HostEntry {
 
 #[derive(Default)]
 struct TableInner {
-    by_name: HashMap<String, HostEntry>,
-    by_vip: HashMap<VirtIp, String>,
-    by_node: HashMap<NodeId, String>,
+    by_name: FxHashMap<String, HostEntry>,
+    by_vip: FxHashMap<VirtIp, String>,
+    by_node: FxHashMap<NodeId, String>,
     order: Vec<String>,
     vips: VipAllocator,
 }

@@ -9,12 +9,11 @@
 //! CPU, wire traffic through the simulated network.
 
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
 use std::rc::Rc;
 
 use mgrid_desim::channel::{oneshot, OneshotSender};
 use mgrid_desim::sync::Notify;
-use mgrid_desim::{obs, spawn, Event};
+use mgrid_desim::{obs, spawn, Event, FxHashMap};
 use mgrid_middleware::{ProcessCtx, SockError, VSender};
 use mgrid_netsim::Payload;
 
@@ -62,14 +61,14 @@ struct Engine {
     /// Arrived RTS announcements not yet matched, in admission order.
     rts: Vec<(usize, Tag, u64, u64)>,
     /// Arrived rendezvous data by (src, send_id).
-    rdv_data: HashMap<(usize, u64), MpiData>,
+    rdv_data: FxHashMap<(usize, u64), MpiData>,
     /// CTS releases awaited by local rendezvous sends.
-    cts_waiters: HashMap<u64, OneshotSender<()>>,
+    cts_waiters: FxHashMap<u64, OneshotSender<()>>,
     /// Next expected per-source sequence number (non-overtaking order).
-    expected_seq: HashMap<usize, u64>,
+    expected_seq: FxHashMap<usize, u64>,
     /// Out-of-order arrivals stashed until their turn, keyed by
     /// (src, seq).
-    stash: HashMap<(usize, u64), MpiMsg>,
+    stash: FxHashMap<(usize, u64), MpiMsg>,
     /// Pulsed on every protocol arrival.
     arrived: Notify,
 }
@@ -116,7 +115,7 @@ pub struct Comm {
     engine: Rc<RefCell<Engine>>,
     params: Rc<MpiParams>,
     next_send_id: Rc<Cell<u64>>,
-    seq_out: Rc<RefCell<HashMap<usize, u64>>>,
+    seq_out: Rc<RefCell<FxHashMap<usize, u64>>>,
     collective_epoch: Rc<Cell<u32>>,
     /// Eager sends still in flight in background tasks.
     outstanding: Rc<Cell<usize>>,
@@ -135,10 +134,10 @@ impl Comm {
         let engine = Rc::new(RefCell::new(Engine {
             eager: Vec::new(),
             rts: Vec::new(),
-            rdv_data: HashMap::new(),
-            cts_waiters: HashMap::new(),
-            expected_seq: HashMap::new(),
-            stash: HashMap::new(),
+            rdv_data: FxHashMap::default(),
+            cts_waiters: FxHashMap::default(),
+            expected_seq: FxHashMap::default(),
+            stash: FxHashMap::default(),
             arrived: Notify::new(),
         }));
         {
@@ -175,7 +174,7 @@ impl Comm {
             engine,
             params: Rc::new(params),
             next_send_id: Rc::new(Cell::new(0)),
-            seq_out: Rc::new(RefCell::new(HashMap::new())),
+            seq_out: Rc::new(RefCell::new(FxHashMap::default())),
             collective_epoch: Rc::new(Cell::new(0)),
             outstanding: Rc::new(Cell::new(0)),
             drained: Notify::new(),

@@ -13,6 +13,8 @@
 //!   per-byte copy cost paid on the (paced) virtual CPU,
 //! * [`world::mpirun`] to launch one rank per virtual host.
 
+#![warn(missing_docs)]
+
 pub mod comm;
 pub mod proto;
 pub mod world;
