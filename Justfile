@@ -27,6 +27,12 @@ fmt:
 figures:
     MGRID_FAST=1 cargo run --release -p mgrid-bench --bin repro -- all
 
+# Chaos scenarios: replay the tracked fault-injection experiments, verify
+# same-seed double runs are byte-identical, and diff against
+# results/chaos.json (`chaos --bless` re-anchors after intended changes).
+chaos:
+    cargo run --release -p mgrid-bench --bin chaos -- --check
+
 # Criterion microbenches: engine throughput + per-figure regenerations.
 bench:
     cargo bench --workspace

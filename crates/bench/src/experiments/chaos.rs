@@ -1,0 +1,227 @@
+//! Chaos scenarios: the paper's what-if promise under *adverse*
+//! conditions. Two tracked experiments exercise the fault-injection
+//! engine end to end:
+//!
+//! 1. **lossy-wan** — NPB IS over the vBNS distributed cluster while the
+//!    scripted scenario degrades the Los Angeles–Chicago long-haul link
+//!    (packet loss, then a hard outage that later heals). The reliable
+//!    transport retransmits through all of it; the figure reports the
+//!    healthy-vs-faulty slowdown and the recovery counters.
+//! 2. **host-crash** — an EP-style master/worker run on the Alpha
+//!    cluster where one host crashes mid-compute. The resilient launcher
+//!    and MPI receive timeouts drop exactly the dead rank; the figure
+//!    reports surviving-rank throughput and the dropped-job accounting.
+//!
+//! Both scenarios are deterministic: one config + one seed = one fault
+//! timeline = one set of numbers (asserted byte-for-byte by
+//! `tests/chaos.rs` and the `chaos` binary's double-run check).
+
+use std::future::Future;
+use std::pin::Pin;
+
+use microgrid::apps::npb::{self, NpbBenchmark, NpbClass, NpbResult};
+use microgrid::desim::time::SimDuration;
+use microgrid::desim::Simulation;
+use microgrid::faults::{FaultKind, FaultPlan};
+use microgrid::mpi::{Comm, MpiData, MpiParams};
+use microgrid::{presets, Report, Series, VirtualGrid};
+
+/// The scripted WAN impairment for scenario 1: 5% loss on the vBNS
+/// long-haul from the start, plus a 150 ms hard outage that heals.
+fn wan_plan() -> FaultPlan {
+    FaultPlan::new()
+        .at(
+            SimDuration::ZERO,
+            FaultKind::LinkLoss {
+                a: "vbns-la".into(),
+                b: "vbns-chi".into(),
+                per_mille: 50,
+            },
+        )
+        .at(
+            SimDuration::from_millis(250),
+            FaultKind::LinkDown {
+                a: "vbns-la".into(),
+                b: "vbns-chi".into(),
+            },
+        )
+        .at(
+            SimDuration::from_millis(400),
+            FaultKind::LinkUp {
+                a: "vbns-la".into(),
+                b: "vbns-chi".into(),
+            },
+        )
+}
+
+fn run_is_vbns(faults: Option<FaultPlan>, seed: u64) -> (NpbResult, MetricsTriple) {
+    let mut sim = Simulation::new(seed);
+    let (result, retransmits) = sim.block_on(async move {
+        let mut config = presets::vbns_grid(155e6);
+        config.seed = seed;
+        config.faults = faults;
+        let grid = VirtualGrid::build(config).expect("build");
+        let results = grid
+            .mpirun_all(MpiParams::default(), |comm| {
+                Box::pin(npb::run(NpbBenchmark::IS, comm, NpbClass::S, None))
+                    as Pin<Box<dyn Future<Output = NpbResult>>>
+            })
+            .await;
+        let retransmits = grid.network().stats().retransmit_rounds;
+        (
+            results.into_iter().next().expect("rank 0 result"),
+            retransmits,
+        )
+    });
+    let m = sim.obs().metrics();
+    let snap = m.snapshot();
+    let recovery_ms = snap
+        .histograms
+        .iter()
+        .find(|h| h.name == "net.recovery_latency_ns")
+        .map(|h| h.sum as f64 / 1e6)
+        .unwrap_or(0.0);
+    let triple = MetricsTriple {
+        retransmits,
+        stalls: m.counter("net.stalls"),
+        recovery_ms,
+    };
+    (result, triple)
+}
+
+struct MetricsTriple {
+    retransmits: u64,
+    stalls: u64,
+    recovery_ms: f64,
+}
+
+/// Scenario 1: NPB IS over the lossy/outaged vBNS WAN vs the healthy WAN.
+pub fn chaos_wan() -> Report {
+    let mut rep = Report::new(
+        "chaos-wan",
+        "NPB IS over the vBNS WAN under scripted loss and a healed outage (class S)",
+    );
+    let (healthy, _) = run_is_vbns(None, 4242);
+    let (faulty, m) = run_is_vbns(Some(wan_plan()), 4242);
+    assert!(healthy.verified, "healthy run failed: {healthy:?}");
+    assert!(faulty.verified, "faulty run must still verify: {faulty:?}");
+    rep.series.push(Series {
+        label: "virtual seconds".into(),
+        points: vec![
+            ("healthy".into(), healthy.virtual_seconds),
+            ("faulty".into(), faulty.virtual_seconds),
+        ],
+    });
+    rep.series.push(Series {
+        label: "recovery".into(),
+        points: vec![
+            ("retransmits".into(), m.retransmits as f64),
+            ("stalls".into(), m.stalls as f64),
+            ("recovery_ms_total".into(), m.recovery_ms),
+        ],
+    });
+    rep.notes.push(format!(
+        "transport retransmitted through 5% loss plus a 150 ms outage; \
+         slowdown {:.2}x",
+        faulty.virtual_seconds / healthy.virtual_seconds.max(1e-9)
+    ));
+    rep
+}
+
+/// Per-rank Mops of EP-style independent work in scenario 2.
+const CRASH_WORK_MOPS: f64 = 200.0;
+const CRASH_BLOCKS: u32 = 20;
+
+/// Scenario 2 worker body: EP-style independent compute, partial sums
+/// funneled to rank 0, which tolerates dead workers via receive
+/// timeouts and reports how much of the job survived.
+fn crash_body(comm: Comm) -> Pin<Box<dyn Future<Output = (usize, usize, f64)>>> {
+    Box::pin(async move {
+        let mut acc = 0.0f64;
+        for b in 0..CRASH_BLOCKS {
+            comm.ctx()
+                .compute_mops(CRASH_WORK_MOPS / CRASH_BLOCKS as f64)
+                .await;
+            acc += f64::from(b);
+        }
+        if comm.rank() != 0 {
+            let _ = comm.send(0, 7, MpiData::typed(8, acc)).await;
+            return (0, 0, 0.0);
+        }
+        let mut survivors = 1; // rank 0 itself
+        let mut dropped = 0;
+        for src in 1..comm.size() {
+            match comm.recv(src, 7).await {
+                Ok(_) => survivors += 1,
+                Err(_) => dropped += 1,
+            }
+        }
+        let done = comm.ctx().gettimeofday();
+        let finish_secs = done
+            .saturating_since(mgrid_desim::time::SimTime::ZERO)
+            .as_secs_f64();
+        (survivors, dropped, finish_secs)
+    })
+}
+
+/// Scenario 2: one Alpha-cluster host crashes mid-compute; the run
+/// degrades gracefully instead of hanging.
+pub fn chaos_crash() -> Report {
+    let mut rep = Report::new(
+        "chaos-crash",
+        "EP-style run with a mid-compute host crash: graceful degradation",
+    );
+    let seed = 777;
+    let mut sim = Simulation::new(seed);
+    let (survivors, dropped, finish_secs) = sim.block_on(async move {
+        let mut config = presets::alpha_cluster();
+        config.seed = seed;
+        config.faults = Some(FaultPlan::new().at(
+            SimDuration::from_millis(120),
+            FaultKind::HostCrash {
+                host: "alpha2".into(),
+            },
+        ));
+        let grid = VirtualGrid::build(config).expect("build");
+        let hosts = grid.host_names();
+        let params = MpiParams {
+            recv_timeout: Some(SimDuration::from_secs(2)),
+            ..MpiParams::default()
+        };
+        let results = grid
+            .mpirun_resilient(&hosts, params, SimDuration::from_secs(30), crash_body)
+            .await;
+        let (survivors, dropped, finish_secs) = results[0].expect("rank 0 survives");
+        (survivors, dropped, finish_secs)
+    });
+    let m = sim.obs().metrics();
+    assert_eq!(m.counter("faults.host_crash"), 1, "crash did not fire");
+    assert!(dropped >= 1, "crashed rank was not detected");
+    rep.series.push(Series {
+        label: "degradation".into(),
+        points: vec![
+            ("ranks_total".into(), 4.0),
+            ("ranks_survived".into(), survivors as f64),
+            ("ranks_dropped".into(), dropped as f64),
+            (
+                "rank_timeouts".into(),
+                m.counter("mpi.rank_timeouts") as f64,
+            ),
+            (
+                "jobs_dropped".into(),
+                m.counter("faults.jobs_dropped") as f64,
+            ),
+            (
+                "procs_killed".into(),
+                m.counter("faults.procs_killed") as f64,
+            ),
+            ("rank0_finish_seconds".into(), finish_secs),
+        ],
+    });
+    rep.notes.push(
+        "one of four hosts crashes at t=120ms; rank 0 detects the dead \
+         worker via the MPI receive timeout and completes on survivors"
+            .into(),
+    );
+    rep
+}

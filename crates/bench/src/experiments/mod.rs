@@ -2,6 +2,7 @@
 //! [`microgrid::Report`] whose rows/series mirror what the paper plots.
 
 pub mod apps;
+pub mod chaos;
 pub mod micro;
 pub mod network;
 pub mod npb;

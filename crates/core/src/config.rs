@@ -8,6 +8,7 @@
 //! MicroGrid reads at startup (§2.4.2, Fig 3).
 
 use mgrid_desim::time::SimDuration;
+use mgrid_faults::FaultPlan;
 use mgrid_hostsim::{PhysicalHostSpec, VirtualHostSpec};
 use serde::{Deserialize, Serialize};
 
@@ -79,6 +80,10 @@ pub struct GridConfig {
     pub quantum: SimDuration,
     /// Seed for every stochastic model component.
     pub seed: u64,
+    /// Scripted fault scenario injected while the grid runs (`None` = no
+    /// faults). Ignored on baseline grids: the physical-grid condition has
+    /// no fault injector to compare against.
+    pub faults: Option<FaultPlan>,
 }
 
 /// Configuration validation failures.
@@ -97,6 +102,13 @@ pub enum ConfigError {
         /// Feasible bound.
         feasible: String,
     },
+    /// A host (physical or virtual) declares a non-positive CPU speed,
+    /// which would make the coordinator's `C_p / sum(demand)` bound
+    /// meaningless (zero demand divides to infinity).
+    NonPositiveSpeed(String),
+    /// A fault-plan event is malformed: bad parameters or a reference to
+    /// a name the grid does not define.
+    InvalidFault(String),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -109,6 +121,10 @@ impl std::fmt::Display for ConfigError {
                 requested,
                 feasible,
             } => write!(f, "rate {requested} exceeds feasible bound {feasible}"),
+            ConfigError::NonPositiveSpeed(h) => {
+                write!(f, "host {h:?} declares a non-positive CPU speed")
+            }
+            ConfigError::InvalidFault(why) => write!(f, "invalid fault plan: {why}"),
         }
     }
 }
@@ -116,21 +132,31 @@ impl std::fmt::Display for ConfigError {
 impl std::error::Error for ConfigError {}
 
 impl GridConfig {
-    /// Check referential integrity (names resolve, no duplicates).
+    /// Check referential integrity (names resolve, no duplicates, speeds
+    /// positive) and, when a fault plan is present, that every fault has
+    /// sound parameters and targets a name the grid defines.
     pub fn validate(&self) -> Result<(), ConfigError> {
         let mut seen = mgrid_desim::FxHashSet::default();
         for p in &self.physical_hosts {
             if !seen.insert(p.name.clone()) {
                 return Err(ConfigError::DuplicateName(p.name.clone()));
             }
+            if p.speed_mops.is_nan() || p.speed_mops <= 0.0 {
+                return Err(ConfigError::NonPositiveSpeed(p.name.clone()));
+            }
         }
         let mut nodes = mgrid_desim::FxHashSet::default();
+        let mut vhosts = mgrid_desim::FxHashSet::default();
         for v in &self.virtual_hosts {
             if !seen.insert(v.spec.name.clone()) || !nodes.insert(v.spec.name.clone()) {
                 return Err(ConfigError::DuplicateName(v.spec.name.clone()));
             }
+            vhosts.insert(v.spec.name.clone());
             if !self.physical_hosts.iter().any(|p| p.name == v.mapped_to) {
                 return Err(ConfigError::UnknownPhysicalHost(v.mapped_to.clone()));
+            }
+            if v.spec.speed_mops.is_nan() || v.spec.speed_mops <= 0.0 {
+                return Err(ConfigError::NonPositiveSpeed(v.spec.name.clone()));
             }
         }
         for r in &self.network.routers {
@@ -142,6 +168,24 @@ impl GridConfig {
             for end in [&l.a, &l.b] {
                 if !nodes.contains(end) {
                     return Err(ConfigError::UnknownNode(end.clone()));
+                }
+            }
+        }
+        if let Some(plan) = &self.faults {
+            plan.check_params().map_err(ConfigError::InvalidFault)?;
+            for ev in &plan.events {
+                for name in ev.kind.node_refs() {
+                    let known = if ev.kind.is_host_fault() {
+                        vhosts.contains(name)
+                    } else {
+                        nodes.contains(name)
+                    };
+                    if !known {
+                        return Err(ConfigError::InvalidFault(format!(
+                            "{} targets unknown node {name:?}",
+                            ev.kind.name()
+                        )));
+                    }
                 }
             }
         }
@@ -192,6 +236,7 @@ mod tests {
             rate: RatePolicy::default(),
             quantum: SimDuration::from_millis(10),
             seed: 1,
+            faults: None,
         }
     }
 
@@ -222,6 +267,70 @@ mod tests {
         let mut c = sample();
         c.network.routers.push("vm0".into());
         assert!(matches!(c.validate(), Err(ConfigError::DuplicateName(_))));
+    }
+
+    #[test]
+    fn nonpositive_speed_rejected() {
+        let mut c = sample();
+        c.virtual_hosts[0].spec.speed_mops = 0.0;
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::NonPositiveSpeed("vm0".into()))
+        );
+        let mut c = sample();
+        c.physical_hosts[0].speed_mops = -1.0;
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::NonPositiveSpeed("phys0".into()))
+        );
+    }
+
+    #[test]
+    fn fault_plan_bad_params_rejected() {
+        use mgrid_faults::{FaultKind, FaultPlan};
+        let mut c = sample();
+        c.faults = Some(FaultPlan::new().at(
+            SimDuration::from_secs(1),
+            FaultKind::LinkLoss {
+                a: "vm0".into(),
+                b: "r0".into(),
+                per_mille: 1500,
+            },
+        ));
+        assert!(matches!(c.validate(), Err(ConfigError::InvalidFault(_))));
+    }
+
+    #[test]
+    fn fault_targeting_unknown_node_rejected() {
+        use mgrid_faults::{FaultKind, FaultPlan};
+        let mut c = sample();
+        c.faults = Some(FaultPlan::new().at(
+            SimDuration::from_secs(1),
+            FaultKind::LinkDown {
+                a: "vm0".into(),
+                b: "ghost".into(),
+            },
+        ));
+        assert!(matches!(c.validate(), Err(ConfigError::InvalidFault(_))));
+    }
+
+    #[test]
+    fn host_fault_must_target_a_virtual_host() {
+        use mgrid_faults::{FaultKind, FaultPlan};
+        // Routers are network nodes but not hosts: crashing one is a
+        // config error, not a silent no-op.
+        let mut c = sample();
+        c.faults = Some(FaultPlan::new().at(
+            SimDuration::from_secs(1),
+            FaultKind::HostCrash { host: "r0".into() },
+        ));
+        assert!(matches!(c.validate(), Err(ConfigError::InvalidFault(_))));
+        let mut ok = sample();
+        ok.faults = Some(FaultPlan::new().at(
+            SimDuration::from_secs(1),
+            FaultKind::HostCrash { host: "vm0".into() },
+        ));
+        assert_eq!(ok.validate(), Ok(()));
     }
 
     #[test]

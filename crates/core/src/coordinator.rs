@@ -108,6 +108,7 @@ mod tests {
             rate,
             quantum: SimDuration::from_millis(10),
             seed: 0,
+            faults: None,
         }
     }
 
@@ -136,6 +137,38 @@ mod tests {
     fn fixed_rate_beyond_bound_rejected() {
         let err = plan_rate(&config(RatePolicy::Fixed(3.0))).unwrap_err();
         assert!(matches!(err, ConfigError::InfeasibleRate { .. }));
+    }
+
+    #[test]
+    fn zero_speed_virtual_host_rejected() {
+        // A 0-Mops virtual host would make its physical host's demand sum
+        // zero and the bound `C_p / sum(demand)` infinite; plan_rate must
+        // refuse instead of silently choosing an unbounded rate.
+        let mut c = config(RatePolicy::Auto { safety: 1.0 });
+        c.virtual_hosts = vec![VirtualHostConfig {
+            spec: VirtualHostSpec::new("v0", 0.0, 1 << 27),
+            mapped_to: "p0".into(),
+        }];
+        let err = plan_rate(&c).unwrap_err();
+        assert_eq!(err, ConfigError::NonPositiveSpeed("v0".into()));
+    }
+
+    #[test]
+    fn nan_speed_physical_host_rejected() {
+        let mut c = config(RatePolicy::Auto { safety: 1.0 });
+        c.physical_hosts[0] = PhysicalHostSpec::new("p0", f64::NAN, 1 << 30);
+        let err = plan_rate(&c).unwrap_err();
+        assert_eq!(err, ConfigError::NonPositiveSpeed("p0".into()));
+    }
+
+    #[test]
+    fn unmapped_virtual_host_rejected_not_unconstrained() {
+        // Mapping to a host the config never declares must be an error,
+        // not a virtual host that silently contributes no CPU constraint.
+        let mut c = config(RatePolicy::Auto { safety: 1.0 });
+        c.virtual_hosts[1].mapped_to = "ghost".into();
+        let err = plan_rate(&c).unwrap_err();
+        assert_eq!(err, ConfigError::UnknownPhysicalHost("ghost".into()));
     }
 
     #[test]

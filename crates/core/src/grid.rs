@@ -21,6 +21,8 @@ use mgrid_middleware::{HostTable, ProcessCtx};
 use mgrid_mpi::{Comm, MpiParams};
 use mgrid_netsim::{LinkSpec, NetParams, Network, NodeId, TopologyBuilder};
 
+use mgrid_faults::{spawn_injector, FaultBus, FaultKind};
+
 use crate::config::{ConfigError, GridConfig};
 use crate::coordinator::{plan_rate, RatePlan};
 
@@ -115,6 +117,45 @@ impl VirtualGrid {
                 let ph = &physical[&v.mapped_to];
                 let vh = ph.map_virtual(v.spec.clone(), rate);
                 table.register(&v.spec.name, node_of[&v.spec.name], vh);
+            }
+        }
+
+        // Fault injection: replay the scripted scenario against the live
+        // models. Baselines skip this — the "physical grid" condition is
+        // the healthy control every chaos figure compares against.
+        if !baseline {
+            if let Some(fault_plan) = &config.faults {
+                if !fault_plan.is_empty() {
+                    let bus = FaultBus::new();
+                    network.attach_faults(&bus);
+                    let ht = table.clone();
+                    bus.subscribe(move |kind| match kind {
+                        FaultKind::HostCrash { host } => {
+                            if let Some(e) = ht.lookup(host) {
+                                e.vhost.crash();
+                            }
+                        }
+                        FaultKind::HostRestart { host } => {
+                            if let Some(e) = ht.lookup(host) {
+                                e.vhost.restart();
+                            }
+                        }
+                        FaultKind::CpuDegrade { host, factor } => {
+                            if let Some(e) = ht.lookup(host) {
+                                e.vhost.set_degradation(*factor);
+                            }
+                        }
+                        FaultKind::CpuRestore { host } => {
+                            if let Some(e) = ht.lookup(host) {
+                                e.vhost.set_degradation(1.0);
+                            }
+                        }
+                        // Link-level faults are handled by the network's
+                        // own subscription.
+                        _ => {}
+                    });
+                    spawn_injector(fault_plan, bus);
+                }
             }
         }
 
@@ -233,6 +274,33 @@ impl VirtualGrid {
         Fut: std::future::Future<Output = T> + 'static,
     {
         mgrid_mpi::mpirun(&self.table, &self.network, &self.clock, hosts, params, body).await
+    }
+
+    /// Fault-tolerant `mpirun`: every rank races a per-job `deadline`;
+    /// ranks that miss it (e.g. their host crashed) are dropped and
+    /// reported as `None` (see [`mgrid_mpi::mpirun_resilient`]).
+    pub async fn mpirun_resilient<T, F, Fut>(
+        &self,
+        hosts: &[String],
+        params: MpiParams,
+        deadline: mgrid_desim::time::SimDuration,
+        body: F,
+    ) -> Vec<Option<T>>
+    where
+        T: 'static,
+        F: Fn(Comm) -> Fut,
+        Fut: std::future::Future<Output = T> + 'static,
+    {
+        mgrid_mpi::mpirun_resilient(
+            &self.table,
+            &self.network,
+            &self.clock,
+            hosts,
+            params,
+            deadline,
+            body,
+        )
+        .await
     }
 
     /// Convenience: `mpirun` across every virtual host.

@@ -44,6 +44,7 @@ pub use report::{ComparisonRow, Report, Series};
 // Re-export the substrate crates so downstream users need one dependency.
 pub use mgrid_apps as apps;
 pub use mgrid_desim as desim;
+pub use mgrid_faults as faults;
 pub use mgrid_gis as gis;
 pub use mgrid_hostsim as hostsim;
 pub use mgrid_middleware as middleware;

@@ -63,6 +63,7 @@ fn cluster(
         rate: RatePolicy::Fixed(0.9),
         quantum: SimDuration::from_millis(10),
         seed: 20000,
+        faults: None,
     }
 }
 
@@ -226,6 +227,7 @@ pub fn vbns_grid(bottleneck_bps: f64) -> GridConfig {
         rate: RatePolicy::Fixed(0.9),
         quantum: SimDuration::from_millis(10),
         seed: 20013,
+        faults: None,
     }
 }
 

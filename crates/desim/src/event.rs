@@ -22,16 +22,19 @@ pub enum Category {
     Mem,
     /// MPI collective operations.
     Mpi,
+    /// Scenario-scripted fault injection (link outages, host crashes).
+    Fault,
 }
 
 impl Category {
     /// All categories, in summary display order.
-    pub const ALL: [Category; 5] = [
+    pub const ALL: [Category; 6] = [
         Category::Sched,
         Category::Net,
         Category::Vsock,
         Category::Mem,
         Category::Mpi,
+        Category::Fault,
     ];
 
     /// Stable lowercase name used in trace output and metric keys.
@@ -42,6 +45,7 @@ impl Category {
             Category::Vsock => "vsock",
             Category::Mem => "mem",
             Category::Mpi => "mpi",
+            Category::Fault => "fault",
         }
     }
 }
@@ -151,6 +155,21 @@ pub enum Event {
         /// Virtual-time nanoseconds the collective took.
         elapsed_ns: u64,
     },
+    /// The fault injector fired one scripted fault.
+    FaultInjected {
+        /// Stable fault-kind name (`"link_down"`, `"host_crash"`, …).
+        fault: &'static str,
+        /// Target description (link endpoints, host name, or cut).
+        target: String,
+    },
+    /// An MPI receive or rendezvous wait exceeded its configured timeout,
+    /// surfacing a suspected rank failure.
+    RankTimeout {
+        /// The waiting rank.
+        rank: u64,
+        /// Nanoseconds waited before giving up.
+        waited_ns: u64,
+    },
 }
 
 impl Event {
@@ -163,7 +182,10 @@ impl Event {
             | Event::PacketDrop { .. } => Category::Net,
             Event::VsockSend { .. } | Event::VsockRecv { .. } => Category::Vsock,
             Event::MemAlloc { .. } | Event::MemDeny { .. } => Category::Mem,
-            Event::CollectiveStart { .. } | Event::CollectiveEnd { .. } => Category::Mpi,
+            Event::CollectiveStart { .. }
+            | Event::CollectiveEnd { .. }
+            | Event::RankTimeout { .. } => Category::Mpi,
+            Event::FaultInjected { .. } => Category::Fault,
         }
     }
 
@@ -182,6 +204,8 @@ impl Event {
             Event::MemDeny { .. } => "mem_deny",
             Event::CollectiveStart { .. } => "collective_start",
             Event::CollectiveEnd { .. } => "collective_end",
+            Event::FaultInjected { .. } => "fault_injected",
+            Event::RankTimeout { .. } => "rank_timeout",
         }
     }
 
@@ -231,6 +255,10 @@ impl Event {
             Event::CollectiveStart { op, .. } | Event::CollectiveEnd { op, .. } => {
                 field_str("op", op)
             }
+            Event::FaultInjected { fault, target } => {
+                field_str("fault", fault);
+                field_str("target", target);
+            }
             _ => {}
         }
         let mut field_num = |key: &str, val: u64| {
@@ -278,6 +306,11 @@ impl Event {
             } => {
                 field_num("ranks", *ranks as u64);
                 field_num("elapsed_ns", *elapsed_ns);
+            }
+            Event::FaultInjected { .. } => {}
+            Event::RankTimeout { rank, waited_ns } => {
+                field_num("rank", *rank);
+                field_num("waited_ns", *waited_ns);
             }
         }
         out.push('}');

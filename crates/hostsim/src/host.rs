@@ -13,10 +13,10 @@
 //!   Figs 10/11/16/17.
 
 use std::cell::RefCell;
-use std::rc::Rc;
+use std::rc::{Rc, Weak};
 
 use mgrid_desim::time::SimDuration;
-use mgrid_desim::SimRng;
+use mgrid_desim::{obs, SimRng};
 
 use crate::kernel::{OsKernel, OsParams, ProcessHandle};
 use crate::memory::{MemoryHandle, MemoryManager, OutOfMemory};
@@ -115,6 +115,9 @@ impl PhysicalHost {
                 fraction: std::cell::Cell::new(fraction),
                 memory: RefCell::new(None),
                 members: RefCell::new(Vec::new()),
+                degrade: std::cell::Cell::new(1.0),
+                crashed: std::cell::Cell::new(false),
+                procs: RefCell::new(Vec::new()),
             }),
         }
     }
@@ -135,6 +138,9 @@ impl PhysicalHost {
                 fraction: std::cell::Cell::new(1.0),
                 memory: RefCell::new(None),
                 members: RefCell::new(Vec::new()),
+                degrade: std::cell::Cell::new(1.0),
+                crashed: std::cell::Cell::new(false),
+                procs: RefCell::new(Vec::new()),
             }),
         }
     }
@@ -150,6 +156,15 @@ struct VhInner {
     /// Live jobs of this virtual host (managed mode): the host fraction is
     /// divided evenly across them.
     members: RefCell<Vec<(JobId, Rc<std::cell::Cell<bool>>)>>,
+    /// Transient CPU degradation factor in `(0, 1]`; 1.0 when healthy.
+    /// Scales the fraction handed to the scheduler, not the configured one.
+    degrade: std::cell::Cell<f64>,
+    /// Set while the virtual host is crashed (between [`VirtualHost::crash`]
+    /// and [`VirtualHost::restart`]).
+    crashed: std::cell::Cell<bool>,
+    /// Weak handles to this host's processes, so a crash can kill them.
+    /// Weak avoids a reference cycle with [`GpInner::vh`].
+    procs: RefCell<Vec<Weak<GpInner>>>,
 }
 
 /// A virtual Grid host: a named (CPU, memory) resource applications run on.
@@ -232,11 +247,82 @@ impl VirtualHost {
             .clone()
     }
 
+    /// Crash the virtual host: every live process is terminated (its
+    /// in-flight compute halts, scheduler jobs retire, memory is released)
+    /// and further [`VirtualHost::spawn_process`] calls fail until
+    /// [`VirtualHost::restart`]. Idempotent while crashed.
+    pub fn crash(&self) {
+        if self.inner.crashed.replace(true) {
+            return;
+        }
+        let procs: Vec<Rc<GpInner>> = self
+            .inner
+            .procs
+            .borrow()
+            .iter()
+            .filter_map(|w| w.upgrade())
+            .collect();
+        let mut killed: u64 = 0;
+        for inner in procs {
+            let gp = GridProcess { inner };
+            if gp.inner.mem.borrow().is_some() {
+                killed += 1;
+            }
+            gp.exit();
+        }
+        self.inner.procs.borrow_mut().clear();
+        obs::count("faults.procs_killed", killed);
+    }
+
+    /// Bring a crashed virtual host back up, empty of processes. The
+    /// configured resources (fraction, memory) are restored; applications
+    /// decide what to re-run on it.
+    pub fn restart(&self) {
+        self.inner.crashed.set(false);
+    }
+
+    /// Whether the host is currently crashed.
+    pub fn is_crashed(&self) -> bool {
+        self.inner.crashed.get()
+    }
+
+    /// Apply a transient CPU degradation: the fraction delivered to this
+    /// host's processes is scaled by `factor` until restored with
+    /// `set_degradation(1.0)`. Only managed hosts are paced, so only they
+    /// degrade; the call is a no-op on direct (baseline) hosts.
+    ///
+    /// # Panics
+    /// Panics if `factor` is not in `(0, 1]`.
+    pub fn set_degradation(&self, factor: f64) {
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "degradation factor must be in (0,1], got {factor}"
+        );
+        self.inner.degrade.set(factor);
+        if self.inner.managed {
+            self.rebalance(&self.inner.phys.scheduler());
+        }
+    }
+
+    /// The current CPU degradation factor (1.0 when healthy).
+    pub fn degradation(&self) -> f64 {
+        self.inner.degrade.get()
+    }
+
     /// Start a process on this virtual host.
     ///
     /// In managed mode the process joins the scheduler daemon's rotation
     /// and the host fraction is re-divided across all live processes.
+    ///
+    /// # Panics
+    /// Panics if the host is crashed (callers gate on
+    /// [`VirtualHost::is_crashed`] when racing a fault scenario).
     pub fn spawn_process(&self, name: impl Into<String>) -> Result<GridProcess, OutOfMemory> {
+        assert!(
+            !self.inner.crashed.get(),
+            "cannot spawn a process on crashed host {}",
+            self.inner.spec.name
+        );
         let mem = self.memory().register_process()?;
         let name = name.into();
         let proc = self.inner.phys.kernel().spawn_process(name);
@@ -251,17 +337,20 @@ impl VirtualHost {
         } else {
             None
         };
-        Ok(GridProcess {
+        let gp = GridProcess {
             inner: Rc::new(GpInner {
                 vh: self.clone(),
                 proc,
                 job: RefCell::new(job),
                 mem: RefCell::new(Some(mem)),
             }),
-        })
+        };
+        self.inner.procs.borrow_mut().push(Rc::downgrade(&gp.inner));
+        Ok(gp)
     }
 
-    /// Divide the host fraction evenly across live member processes.
+    /// Divide the host fraction (scaled by any transient degradation)
+    /// evenly across live member processes.
     fn rebalance(&self, sched: &MGridScheduler) {
         let members = self.inner.members.borrow();
         let live: Vec<JobId> = members
@@ -272,7 +361,7 @@ impl VirtualHost {
         if live.is_empty() {
             return;
         }
-        let each = self.inner.fraction.get() / live.len() as f64;
+        let each = self.inner.fraction.get() * self.inner.degrade.get() / live.len() as f64;
         for id in live {
             sched.set_fraction(id, each);
         }
@@ -485,6 +574,74 @@ mod tests {
             assert_eq!(vh.memory().used(), 0);
         });
         sim.run_until(SimTime::from_secs_f64(1.0));
+    }
+
+    #[test]
+    fn crash_kills_processes_and_halts_compute() {
+        let mut sim = Simulation::new(11);
+        let done = Rc::new(std::cell::Cell::new(false));
+        let done2 = done.clone();
+        sim.spawn(async move {
+            let ph = phys(500.0);
+            let vh = ph.map_virtual(VirtualHostSpec::new("vm", 400.0, 1 << 28), 1.0);
+            let p = vh.spawn_process("app").unwrap();
+            {
+                let p = p.clone();
+                mgrid_desim::spawn(async move {
+                    p.compute_mops(500.0).await;
+                    done2.set(true);
+                });
+            }
+            mgrid_desim::sleep(SimDuration::from_millis(100)).await;
+            vh.crash();
+            assert!(vh.is_crashed());
+            assert_eq!(vh.memory().used(), 0, "crash releases memory");
+            mgrid_desim::sleep(SimDuration::from_secs(3)).await;
+        });
+        sim.run_until(SimTime::from_secs_f64(5.0));
+        assert!(!done.get(), "compute on a crashed host must never finish");
+    }
+
+    #[test]
+    fn restart_allows_new_processes() {
+        let mut sim = Simulation::new(12);
+        sim.spawn(async {
+            let ph = phys(500.0);
+            let vh = ph.map_virtual(VirtualHostSpec::new("vm", 400.0, 1 << 28), 1.0);
+            let p = vh.spawn_process("first").unwrap();
+            vh.crash();
+            drop(p);
+            vh.restart();
+            assert!(!vh.is_crashed());
+            let p2 = vh.spawn_process("second").unwrap();
+            let t0 = now();
+            p2.compute_mops(80.0).await; // 0.16s CPU at fraction 0.8 ~ 0.2s
+            let wall = (now() - t0).as_secs_f64();
+            assert!((wall - 0.2).abs() < 0.1, "wall {wall}");
+        });
+        sim.run_until(SimTime::from_secs_f64(10.0));
+    }
+
+    #[test]
+    fn degradation_scales_delivered_fraction() {
+        let mut sim = Simulation::new(13);
+        sim.spawn(async {
+            let ph = phys(500.0);
+            // fraction 0.8; degraded by 0.5 -> effective 0.4.
+            let vh = ph.map_virtual(VirtualHostSpec::new("vm", 400.0, 1 << 28), 1.0);
+            let p = vh.spawn_process("app").unwrap();
+            vh.set_degradation(0.5);
+            let t0 = now();
+            p.compute_mops(200.0).await; // 0.4s CPU at 0.4 -> ~1s wall
+            let degraded_wall = (now() - t0).as_secs_f64();
+            assert!((degraded_wall - 1.0).abs() < 0.15, "wall {degraded_wall}");
+            vh.set_degradation(1.0);
+            let t1 = now();
+            p.compute_mops(200.0).await; // back to 0.8 -> ~0.5s wall
+            let healthy_wall = (now() - t1).as_secs_f64();
+            assert!((healthy_wall - 0.5).abs() < 0.15, "wall {healthy_wall}");
+        });
+        sim.run_until(SimTime::from_secs_f64(30.0));
     }
 
     #[test]

@@ -398,25 +398,41 @@ impl ProcessHandle {
     /// Consume `cpu` seconds of CPU time. Completes once the kernel has
     /// actually granted that much CPU; wall time elapsed is at least `cpu`
     /// and grows with contention, SIGSTOP gating, and scheduling latency.
+    ///
+    /// If the process has exited (or exits mid-request — e.g. its virtual
+    /// host crashed), this future never completes: a dead process cannot
+    /// make progress, so the requesting task halts exactly like code running
+    /// on the vanished machine would.
     pub async fn run_cpu(&self, cpu: SimDuration) {
         if cpu.is_zero() {
             return;
         }
         self.kernel.ensure_driver();
         let (tx, rx) = oneshot();
-        {
+        let queued = {
             let mut inner = self.kernel.inner.borrow_mut();
-            let p = inner.procs.get_mut(&self.pid).expect("process exists");
-            p.requests.push_back(Request {
-                remaining: cpu,
-                done: tx,
-                served: SimDuration::ZERO,
-            });
+            match inner.procs.get_mut(&self.pid) {
+                Some(p) => {
+                    p.requests.push_back(Request {
+                        remaining: cpu,
+                        done: tx,
+                        served: SimDuration::ZERO,
+                    });
+                    true
+                }
+                None => false,
+            }
+        };
+        if !queued {
+            halt_forever().await;
         }
         self.kernel.interrupt();
         // A dropped reply means the process was killed mid-request; the
-        // remaining work simply vanishes with it.
+        // remaining work vanishes with it and the requester halts below.
         let _ = rx.recv().await;
+        if !self.kernel.inner.borrow().procs.contains_key(&self.pid) {
+            halt_forever().await;
+        }
     }
 
     /// Sleep without consuming CPU (the process blocks voluntarily and
@@ -500,6 +516,14 @@ impl ProcessHandle {
         }
         self.kernel.interrupt();
     }
+}
+
+/// Park the current task forever: the fate of any task that needs CPU from
+/// a process that no longer exists. Bound such waits with
+/// `mgrid_desim::with_timeout` when forward progress must be observed.
+async fn halt_forever() -> ! {
+    std::future::pending::<()>().await;
+    unreachable!("pending future completed")
 }
 
 struct InterruptibleSleep {
@@ -682,6 +706,46 @@ mod tests {
             assert_eq!(k.process_count(), 0);
         });
         sim.run_to_completion();
+    }
+
+    #[test]
+    fn run_cpu_after_exit_parks_forever() {
+        let mut sim = Simulation::new(1);
+        sim.spawn(async {
+            let k = OsKernel::new(quiet_params(), SimRng::new(1));
+            let p = k.spawn_process("doomed");
+            p.exit();
+            let r = mgrid_desim::timeout::with_timeout(
+                SimDuration::from_secs(1),
+                p.run_cpu(SimDuration::from_millis(1)),
+            )
+            .await;
+            assert!(
+                r.is_none(),
+                "compute on an exited process must not complete"
+            );
+        });
+        sim.run_until(SimTime::from_secs_f64(2.0));
+    }
+
+    #[test]
+    fn exit_mid_request_halts_the_requester() {
+        let mut sim = Simulation::new(1);
+        sim.spawn(async {
+            let k = OsKernel::new(quiet_params(), SimRng::new(1));
+            let p = k.spawn_process("victim");
+            let h = {
+                let p = p.clone();
+                spawn(async move {
+                    p.run_cpu(SimDuration::from_millis(100)).await;
+                })
+            };
+            sleep(SimDuration::from_millis(10)).await;
+            p.exit();
+            sleep(SimDuration::from_millis(500)).await;
+            assert!(!h.is_finished(), "killed process's compute must halt");
+        });
+        sim.run_until(SimTime::from_secs_f64(1.0));
     }
 
     #[test]

@@ -162,11 +162,16 @@ impl MGridScheduler {
         );
         let mut inner = self.inner.borrow_mut();
         let job = &mut inner.jobs[id.0];
-        // Reset accounting so the new fraction applies from now on rather
-        // than retroactively.
-        job.fraction = fraction;
-        job.used = SimDuration::ZERO;
+        // Re-baseline the accounting origin at the switch instant instead
+        // of zeroing usage: a job that already overran its old entitlement
+        // carries the overrun forward as debt (paid back at the new
+        // fraction), while accrued-but-unused entitlement is forfeited —
+        // never banked into a CPU burst.
+        let elapsed = now().saturating_since(job.started);
+        let entitled = SimDuration::from_secs_f64(job.fraction * elapsed.as_secs_f64());
+        job.used = job.used.saturating_sub(entitled);
         job.started = now();
+        job.fraction = fraction;
     }
 
     /// The configured quantum.
@@ -441,6 +446,53 @@ mod tests {
             assert!((fb - 0.2).abs() < 0.03, "b delivered {fb}");
         });
         sim.run_until(SimTime::from_secs_f64(11.0));
+    }
+
+    #[test]
+    fn fraction_churn_does_not_grant_bursts() {
+        // Regression: set_fraction used to zero the `used` accounting, so
+        // a job that had just consumed a quantum became eligible again
+        // immediately. The daemon re-checks eligibility on every rotation,
+        // so whenever a competitor keeps it awake, an overrunning job could
+        // collect one fresh quantum per churn — several times its 5% share
+        // here. The fix re-baselines the elapsed-time origin and carries
+        // the overrun as debt, so churn must not change the delivered
+        // fraction.
+        let mut sim = Simulation::new(8);
+        let out = Rc::new(std::cell::Cell::new(0.0f64));
+        let out2 = out.clone();
+        sim.spawn(async move {
+            let k = quiet_kernel();
+            let sched = MGridScheduler::start(&k, SchedulerParams::default());
+            let p = k.spawn_process("churned");
+            let job = sched.add_job(p.clone(), 0.05);
+            // A busy competitor keeps the daemon rotating every quantum, so
+            // it observes the churned job's accounting right after each
+            // set_fraction call — the condition under which the old zeroing
+            // bug handed out bursts.
+            let rival = k.spawn_process("rival");
+            sched.add_job(rival.clone(), 0.5);
+            for p in [p.clone(), rival] {
+                spawn(async move {
+                    p.run_cpu(SimDuration::from_secs(3600)).await;
+                });
+            }
+            let horizon = SimDuration::from_secs(4);
+            let step = SimDuration::from_millis(50);
+            let mut t = SimDuration::ZERO;
+            while t < horizon {
+                mgrid_desim::sleep(step).await;
+                t += step;
+                // Re-applying the same fraction must be a no-op for the
+                // long-run share.
+                sched.set_fraction(job, 0.05);
+            }
+            out2.set(p.cpu_used().as_secs_f64() / horizon.as_secs_f64());
+        });
+        sim.run_until(SimTime::from_secs_f64(5.0));
+        let got = out.get();
+        assert!(got < 0.09, "churn must not inflate the 5% share, got {got}");
+        assert!(got > 0.02, "job must still make progress, got {got}");
     }
 
     #[test]

@@ -32,4 +32,4 @@ pub use hosttable::{HostEntry, HostTable};
 pub use infoservice::{gis_search, GisQueryError, GisServer, GIS_PORT};
 pub use process::ProcessCtx;
 pub use vip::{VipAllocator, VirtIp};
-pub use vsocket::{SockError, VMessage, VSender, VSocket};
+pub use vsocket::{RetryPolicy, SockError, VMessage, VSender, VSocket};

@@ -27,6 +27,8 @@ pub(crate) struct VsockMetrics {
     pub(crate) bytes_sent: Counter,
     pub(crate) recvs: Counter,
     pub(crate) bytes_recvd: Counter,
+    pub(crate) retries: Counter,
+    pub(crate) send_failures: Counter,
 }
 
 /// The execution context of one Grid process on a virtual host.
@@ -71,6 +73,8 @@ impl ProcessCtx {
                 bytes_sent: obs::counter_handle("vsock.bytes_sent"),
                 recvs: obs::counter_handle("vsock.recvs"),
                 bytes_recvd: obs::counter_handle("vsock.bytes_recvd"),
+                retries: obs::counter_handle("vsock.retries"),
+                send_failures: obs::counter_handle("vsock.send_failures"),
             }),
         })
     }

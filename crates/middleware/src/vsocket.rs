@@ -6,6 +6,7 @@
 //! (possibly paced) virtual CPU, resolves names through the mapping table,
 //! and moves data only across the simulated virtual network.
 
+use mgrid_desim::time::SimDuration;
 use mgrid_desim::{obs, Event};
 use mgrid_netsim::{NetError, Payload};
 
@@ -45,6 +46,9 @@ pub enum SockError {
     Net(NetError),
     /// The socket (or network) was closed.
     Closed,
+    /// A middleware-level deadline expired: a retry policy ran out of
+    /// attempts, or an MPI receive exceeded its configured timeout.
+    TimedOut,
 }
 
 impl std::fmt::Display for SockError {
@@ -53,11 +57,50 @@ impl std::fmt::Display for SockError {
             SockError::UnknownHost(h) => write!(f, "unknown virtual host: {h}"),
             SockError::Net(e) => write!(f, "network error: {e}"),
             SockError::Closed => write!(f, "socket closed"),
+            SockError::TimedOut => write!(f, "operation timed out"),
         }
     }
 }
 
 impl std::error::Error for SockError {}
+
+/// Deterministic retry policy for unreliable sends: exponential backoff
+/// with no jitter, so two same-seed runs retry at identical instants.
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (0 is treated as 1).
+    pub attempts: u32,
+    /// Delay before the first retry; doubles per retry.
+    pub backoff: SimDuration,
+    /// Cap on the doubled backoff.
+    pub max_backoff: SimDuration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 4,
+            backoff: SimDuration::from_millis(100),
+            max_backoff: SimDuration::from_secs(5),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Whether `err` is worth retrying: transient transport failures are;
+    /// configuration errors (unknown host) and closed sockets are not.
+    fn retryable(err: &SockError) -> bool {
+        matches!(
+            err,
+            SockError::Net(NetError::TimedOut) | SockError::Net(NetError::Unreachable)
+        )
+    }
+
+    /// The backoff after `backoff`, doubled and capped.
+    fn next_backoff(&self, backoff: SimDuration) -> SimDuration {
+        SimDuration::from_nanos(backoff.as_nanos().saturating_mul(2)).min(self.max_backoff)
+    }
+}
 
 /// A message received on a virtual socket.
 #[derive(Clone, Debug)]
@@ -135,6 +178,36 @@ impl VSender {
             .await
             .map_err(SockError::Net)
     }
+
+    /// Like [`VSender::send_to`], retrying transient transport failures
+    /// under `policy`; identical semantics to
+    /// [`VSocket::send_to_with_retry`].
+    pub async fn send_to_with_retry(
+        &self,
+        host: &str,
+        port: u16,
+        size_bytes: u64,
+        payload: Payload,
+        policy: &RetryPolicy,
+    ) -> Result<(), SockError> {
+        let mut backoff = policy.backoff;
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            match self.send_to(host, port, size_bytes, payload.clone()).await {
+                Ok(()) => return Ok(()),
+                Err(e) if attempt < policy.attempts.max(1) && RetryPolicy::retryable(&e) => {
+                    self.ctx.vsock_metrics.retries.add(1);
+                    mgrid_desim::sleep(backoff).await;
+                    backoff = policy.next_backoff(backoff);
+                }
+                Err(e) => {
+                    self.ctx.vsock_metrics.send_failures.add(1);
+                    return Err(e);
+                }
+            }
+        }
+    }
 }
 
 impl VSocket {
@@ -174,6 +247,24 @@ impl VSocket {
             .send(entry.node, port, self.port, size_bytes, payload)
             .await
             .map_err(SockError::Net)
+    }
+
+    /// Reliably send with deterministic retries: transient transport
+    /// failures ([`NetError::TimedOut`], [`NetError::Unreachable`]) are
+    /// retried up to `policy.attempts` total attempts with jitter-free
+    /// exponential backoff. Retries count into `vsock.retries`; a final
+    /// failure counts into `vsock.send_failures`.
+    pub async fn send_to_with_retry(
+        &self,
+        host: &str,
+        port: u16,
+        size_bytes: u64,
+        payload: Payload,
+        policy: &RetryPolicy,
+    ) -> Result<(), SockError> {
+        self.sender()
+            .send_to_with_retry(host, port, size_bytes, payload, policy)
+            .await
     }
 
     /// Receive the next message, parking until one arrives.
@@ -294,6 +385,76 @@ mod tests {
             assert!(a.resolve("vm1.ucsd.edu").is_ok());
         });
         sim.run_until(mgrid_desim::SimTime::from_secs_f64(1.0));
+    }
+
+    #[test]
+    fn retry_policy_survives_a_transient_outage() {
+        let mut sim = Simulation::new(4);
+        sim.spawn(async {
+            let mut b = TopologyBuilder::new();
+            let n0 = b.host("vm0");
+            let n1 = b.host("vm1");
+            let (ab, ba) = b.link(n0, n1, LinkSpec::fast_ethernet());
+            let clock = VirtualClock::identity();
+            // A small retry budget makes the transport give up quickly so
+            // the middleware-level retry policy is what recovers.
+            let net = Network::new(
+                b.build(),
+                clock.clone(),
+                NetParams {
+                    retry_budget: 2,
+                    ..NetParams::default()
+                },
+            );
+            let table = HostTable::new();
+            for (i, (name, node)) in [("vm0", n0), ("vm1", n1)].into_iter().enumerate() {
+                let ph = PhysicalHost::new(
+                    PhysicalHostSpec::new(format!("phys{i}"), 500.0, 1 << 30),
+                    OsParams::default(),
+                    SchedulerParams::default(),
+                    SimRng::new(i as u64 + 1),
+                );
+                table.register(name, node, ph.as_direct_virtual());
+            }
+            net.set_link_down(ab, true);
+            net.set_link_down(ba, true);
+            {
+                let net = net.clone();
+                mgrid_desim::spawn(async move {
+                    mgrid_desim::sleep(SimDuration::from_secs(2)).await;
+                    net.set_link_down(ab, false);
+                    net.set_link_down(ba, false);
+                });
+            }
+            let a = ProcessCtx::spawn(&table, &net, &clock, "vm0", "sender").unwrap();
+            let b = ProcessCtx::spawn(&table, &net, &clock, "vm1", "receiver").unwrap();
+            let sock_b = b.bind(9000);
+            let sock_a = a.bind(9001);
+            let policy = RetryPolicy {
+                attempts: 10,
+                backoff: SimDuration::from_millis(200),
+                max_backoff: SimDuration::from_secs(2),
+            };
+            {
+                let sock_a = sock_a;
+                mgrid_desim::spawn(async move {
+                    sock_a
+                        .send_to_with_retry("vm1", 9000, 4096, Payload::empty(), &policy)
+                        .await
+                        .unwrap();
+                });
+            }
+            let msg = sock_b.recv().await.unwrap();
+            assert_eq!(msg.size_bytes, 4096);
+        });
+        sim.run_until(mgrid_desim::SimTime::from_secs_f64(30.0));
+        let m = sim.obs().metrics().snapshot();
+        assert!(
+            m.counter("vsock.retries") >= 1,
+            "retries must be recorded: {:?}",
+            m.counters
+        );
+        assert_eq!(m.counter("vsock.send_failures"), 0);
     }
 
     #[test]

@@ -13,7 +13,9 @@ use std::rc::Rc;
 
 use mgrid_desim::channel::{oneshot, OneshotSender};
 use mgrid_desim::sync::Notify;
-use mgrid_desim::{obs, spawn, Event, FxHashMap};
+use mgrid_desim::time::{SimDuration, SimTime};
+use mgrid_desim::timeout::with_timeout;
+use mgrid_desim::{obs, spawn, Event, FxHashMap, FxHashSet};
 use mgrid_middleware::{ProcessCtx, SockError, VSender};
 use mgrid_netsim::Payload;
 
@@ -37,6 +39,13 @@ pub struct MpiParams {
     /// Wire size of RTS/CTS control messages and the per-message MPI
     /// header.
     pub control_bytes: u64,
+    /// Deadline for blocking waits on a peer (posted receives and
+    /// rendezvous CTS waits). `None` (the default) waits forever, real-MPI
+    /// style; with a deadline, an expired wait fails the operation with
+    /// [`SockError::TimedOut`] and records the peer in
+    /// [`Comm::failed_ranks`] — how a fault-tolerant harness observes that
+    /// a rank's host crashed or was partitioned away.
+    pub recv_timeout: Option<SimDuration>,
 }
 
 impl Default for MpiParams {
@@ -48,6 +57,7 @@ impl Default for MpiParams {
             recv_overhead_mops: 0.015,
             copy_mops_per_mb: 3.0,
             control_bytes: 64,
+            recv_timeout: None,
         }
     }
 }
@@ -120,6 +130,8 @@ pub struct Comm {
     /// Eager sends still in flight in background tasks.
     outstanding: Rc<Cell<usize>>,
     drained: Notify,
+    /// Ranks this communicator has timed out waiting on (suspected dead).
+    failed: Rc<RefCell<FxHashSet<usize>>>,
 }
 
 impl Comm {
@@ -178,6 +190,54 @@ impl Comm {
             collective_epoch: Rc::new(Cell::new(0)),
             outstanding: Rc::new(Cell::new(0)),
             drained: Notify::new(),
+            failed: Rc::new(RefCell::new(FxHashSet::default())),
+        }
+    }
+
+    /// Ranks this communicator has timed out waiting on (sorted). Empty
+    /// unless [`MpiParams::recv_timeout`] is set and a wait expired.
+    pub fn failed_ranks(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.failed.borrow().iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Record a timed-out wait on `suspect` (`ANY_SOURCE` when the receive
+    /// was a wildcard) and build the error the caller returns.
+    fn rank_timeout(&self, suspect: i32, waited: SimDuration) -> SockError {
+        if suspect >= 0 {
+            self.failed.borrow_mut().insert(suspect as usize);
+        }
+        obs::count("mpi.rank_timeouts", 1);
+        let waited_ns = waited.as_nanos();
+        obs::emit(|| Event::RankTimeout {
+            rank: suspect.max(-1) as u64,
+            waited_ns,
+        });
+        SockError::TimedOut
+    }
+
+    /// Wait for the next protocol arrival, bounded by `deadline` when one
+    /// is configured. `t0` is when the enclosing wait began (for the
+    /// recovery-latency report); `suspect` is the peer being waited on.
+    async fn wait_arrival(
+        &self,
+        n: Notify,
+        deadline: Option<SimTime>,
+        t0: SimTime,
+        suspect: i32,
+    ) -> Result<(), SockError> {
+        let Some(dl) = deadline else {
+            n.notified().await;
+            return Ok(());
+        };
+        let now = mgrid_desim::now();
+        if now >= dl {
+            return Err(self.rank_timeout(suspect, now.saturating_since(t0)));
+        }
+        match with_timeout(dl - now, n.notified()).await {
+            Some(()) => Ok(()),
+            None => Err(self.rank_timeout(suspect, mgrid_desim::now().saturating_since(t0))),
         }
     }
 
@@ -299,7 +359,27 @@ impl Comm {
                     .await;
             });
         }
-        rx.recv().await.map_err(|_| SockError::Closed)?;
+        match self.params.recv_timeout {
+            None => {
+                rx.recv().await.map_err(|_| SockError::Closed)?;
+            }
+            Some(d) => {
+                let t0 = mgrid_desim::now();
+                match with_timeout(d, rx.recv()).await {
+                    Some(r) => {
+                        r.map_err(|_| SockError::Closed)?;
+                    }
+                    None => {
+                        // The receiver never granted CTS: stop waiting and
+                        // surface the peer as suspect.
+                        self.engine.borrow_mut().cts_waiters.remove(&send_id);
+                        return Err(
+                            self.rank_timeout(dst as i32, mgrid_desim::now().saturating_since(t0))
+                        );
+                    }
+                }
+            }
+        }
         self.sender
             .send_to(
                 &self.hosts[dst],
@@ -333,7 +413,13 @@ impl Comm {
     }
 
     /// Receive the next message satisfying `pattern`.
+    ///
+    /// With [`MpiParams::recv_timeout`] set, an unmatched wait past the
+    /// deadline fails with [`SockError::TimedOut`] and records the awaited
+    /// source (when specific) in [`Comm::failed_ranks`].
     pub async fn recv_matching(&self, pattern: Pattern) -> Result<RecvMsg, SockError> {
+        let t0 = mgrid_desim::now();
+        let deadline = self.params.recv_timeout.map(|d| t0 + d);
         loop {
             enum Hit {
                 Eager(RecvMsg),
@@ -379,14 +465,14 @@ impl Comm {
                             }
                         }
                         let n = self.engine.borrow().arrived.clone();
-                        n.notified().await;
+                        self.wait_arrival(n, deadline, t0, src as i32).await?;
                     };
                     self.pay(self.params.recv_overhead_mops, data.bytes).await;
                     return Ok(RecvMsg { src, tag, data });
                 }
                 None => {
                     let n = self.engine.borrow().arrived.clone();
-                    n.notified().await;
+                    self.wait_arrival(n, deadline, t0, pattern.src).await?;
                 }
             }
         }

@@ -21,4 +21,4 @@ pub mod world;
 
 pub use comm::{Comm, MpiParams};
 pub use proto::{MpiData, Pattern, RecvMsg, Tag, ANY_SOURCE, ANY_TAG};
-pub use world::mpirun;
+pub use world::{mpirun, mpirun_resilient};

@@ -3,8 +3,10 @@
 use std::future::Future;
 use std::rc::Rc;
 
-use mgrid_desim::spawn;
+use mgrid_desim::time::SimDuration;
+use mgrid_desim::timeout::with_timeout;
 use mgrid_desim::vclock::VirtualClock;
+use mgrid_desim::{obs, spawn, Event};
 use mgrid_middleware::{HostTable, ProcessCtx};
 use mgrid_netsim::Network;
 
@@ -51,6 +53,63 @@ where
     }
     for comm in &comms {
         comm.flush().await;
+        comm.ctx().exit();
+    }
+    outputs
+}
+
+/// Fault-tolerant `mpirun`: like [`mpirun`], but every rank's body runs
+/// under a wall-clock `deadline`. A rank that has not finished by then —
+/// because its host crashed (its compute halts forever) or it deadlocked
+/// waiting on a dead peer — is abandoned: its slot in the result is `None`
+/// and it counts into the `faults.jobs_dropped` metric. Completed ranks
+/// return `Some(output)` in rank order.
+///
+/// The final flush is bounded by the same deadline, so buffered sends to a
+/// dead destination cannot wedge teardown.
+pub async fn mpirun_resilient<T, F, Fut>(
+    table: &HostTable,
+    net: &Network,
+    clock: &VirtualClock,
+    hosts: &[String],
+    params: MpiParams,
+    deadline: SimDuration,
+    body: F,
+) -> Vec<Option<T>>
+where
+    T: 'static,
+    F: Fn(Comm) -> Fut,
+    Fut: Future<Output = T> + 'static,
+{
+    let hosts_rc = Rc::new(hosts.to_vec());
+    let mut comms = Vec::with_capacity(hosts.len());
+    for (rank, host) in hosts.iter().enumerate() {
+        let ctx = ProcessCtx::spawn(table, net, clock, host, format!("mpi-rank{rank}"))
+            .unwrap_or_else(|e| panic!("cannot start rank {rank} on {host}: {e}"));
+        comms.push(Comm::create(ctx, rank, hosts_rc.clone(), params.clone()));
+    }
+    let mut handles = Vec::with_capacity(comms.len());
+    for comm in &comms {
+        let comm2 = comm.clone();
+        let fut = body(comm2);
+        handles.push(spawn(fut));
+    }
+    let cutoff = mgrid_desim::now() + deadline;
+    let mut outputs = Vec::with_capacity(handles.len());
+    for (rank, h) in handles.into_iter().enumerate() {
+        let remaining = cutoff.saturating_since(mgrid_desim::now());
+        let out = with_timeout(remaining, h).await;
+        if out.is_none() {
+            obs::count("faults.jobs_dropped", 1);
+            obs::emit(|| Event::RankTimeout {
+                rank: rank as u64,
+                waited_ns: deadline.as_nanos(),
+            });
+        }
+        outputs.push(out);
+    }
+    for comm in &comms {
+        let _ = with_timeout(cutoff.saturating_since(mgrid_desim::now()), comm.flush()).await;
         comm.ctx().exit();
     }
     outputs
@@ -278,6 +337,79 @@ mod tests {
                 assert_eq!(*v, (s * 10 + r) as u32);
             }
         }
+    }
+
+    #[test]
+    fn recv_timeout_surfaces_dead_rank() {
+        let mut sim = Simulation::new(21);
+        let out = sim.block_on(async move {
+            let (table, net, clock, hosts) = grid4();
+            let params = MpiParams {
+                recv_timeout: Some(mgrid_desim::SimDuration::from_secs(2)),
+                ..MpiParams::default()
+            };
+            let table2 = table.clone();
+            // Rank 3's host dies before it ever sends, so rank 0's receive
+            // from it must time out and mark the rank suspect.
+            mpirun(&table, &net, &clock, &hosts, params, move |comm| {
+                let table = table2.clone();
+                Box::pin(async move {
+                    match comm.rank() {
+                        0 => {
+                            let err = comm.recv(3, 1).await.unwrap_err();
+                            assert_eq!(err, mgrid_middleware::SockError::TimedOut);
+                            comm.failed_ranks()
+                        }
+                        3 => {
+                            table.lookup("node3.cluster").unwrap().vhost.crash();
+                            Vec::new()
+                        }
+                        _ => Vec::new(),
+                    }
+                }) as std::pin::Pin<Box<dyn Future<Output = Vec<usize>>>>
+            })
+            .await
+        });
+        assert_eq!(out[0], vec![3]);
+        let m = sim.obs().metrics().snapshot();
+        assert!(m.counter("mpi.rank_timeouts") >= 1);
+    }
+
+    #[test]
+    fn resilient_run_drops_crashed_rank() {
+        let mut sim = Simulation::new(22);
+        let out = sim.block_on(async move {
+            let (table, net, clock, hosts) = grid4();
+            let params = MpiParams {
+                recv_timeout: Some(mgrid_desim::SimDuration::from_secs(1)),
+                ..MpiParams::default()
+            };
+            let table2 = table.clone();
+            mpirun_resilient(
+                &table,
+                &net,
+                &clock,
+                &hosts,
+                params,
+                mgrid_desim::SimDuration::from_secs(5),
+                move |comm| {
+                    let table = table2.clone();
+                    Box::pin(async move {
+                        if comm.rank() == 2 {
+                            // Host dies 100ms in; the rank's compute halts.
+                            mgrid_desim::sleep(mgrid_desim::SimDuration::from_millis(100)).await;
+                            table.lookup("node2.cluster").unwrap().vhost.crash();
+                            comm.ctx().compute_mops(1.0).await;
+                        }
+                        comm.rank()
+                    }) as std::pin::Pin<Box<dyn Future<Output = usize>>>
+                },
+            )
+            .await
+        });
+        assert_eq!(out, vec![Some(0), Some(1), None, Some(3)]);
+        let m = sim.obs().metrics().snapshot();
+        assert_eq!(m.counter("faults.jobs_dropped"), 1);
     }
 
     #[test]

@@ -22,8 +22,10 @@ use mgrid_desim::sync::Notify;
 use mgrid_desim::time::{SimDuration, SimTime};
 use mgrid_desim::vclock::VirtualClock;
 use mgrid_desim::{
-    now, obs, sleep_until, spawn_daemon, Counter, Event, FxHashMap, FxHashSet, HistogramHandle,
+    fork_rng, now, obs, sleep_until, spawn_daemon, Counter, Event, FxHashMap, FxHashSet,
+    HistogramHandle, SimRng,
 };
+use mgrid_faults::{FaultBus, FaultKind};
 
 use crate::packet::{Packet, PacketKind, Payload, TransferId};
 use crate::topology::{LinkId, NodeId, NodeKind, Topology};
@@ -43,6 +45,14 @@ pub struct NetParams {
     pub min_rto: SimDuration,
     /// Retransmission timeout before any RTT sample exists.
     pub initial_rto: SimDuration,
+    /// Upper bound on the retransmission timeout: exponential backoff
+    /// doubles the RTO no further than this, and RTT-blend updates are
+    /// clamped to it (so one pathological sample can't park a transfer).
+    pub max_rto: SimDuration,
+    /// Consecutive timed-out retransmission rounds (no ack progress)
+    /// tolerated before a send fails with [`NetError::TimedOut`].
+    /// `0` means retry forever — the pre-fault-engine behaviour.
+    pub retry_budget: u32,
     /// Latency of a loopback delivery (same-host messaging).
     pub loopback_delay: SimDuration,
 }
@@ -56,6 +66,8 @@ impl Default for NetParams {
             window_bytes: 64 * 1024,
             min_rto: SimDuration::from_millis(10),
             initial_rto: SimDuration::from_millis(300),
+            max_rto: SimDuration::from_secs(5),
+            retry_budget: 0,
             loopback_delay: SimDuration::from_micros(15),
         }
     }
@@ -109,6 +121,10 @@ pub enum NetError {
     Unreachable,
     /// The network was torn down mid-operation.
     Closed,
+    /// The retry budget ran out with no acknowledgment progress (the
+    /// destination is down, partitioned away, or the path is lossy beyond
+    /// recovery within [`NetParams::retry_budget`] rounds).
+    TimedOut,
 }
 
 impl std::fmt::Display for NetError {
@@ -116,11 +132,72 @@ impl std::fmt::Display for NetError {
         match self {
             NetError::Unreachable => write!(f, "destination unreachable"),
             NetError::Closed => write!(f, "network closed"),
+            NetError::TimedOut => write!(f, "retry budget exhausted without ack progress"),
         }
     }
 }
 
 impl std::error::Error for NetError {}
+
+/// Injected impairments of one directed link, driven by a [`FaultPlan`]
+/// through [`Network::apply_fault`] (or set directly in tests). This
+/// generalizes the old single `force_drop_every` cell: outage, scripted
+/// periodic drops, and seeded probabilistic loss / corruption /
+/// reordering all live here.
+///
+/// [`FaultPlan`]: mgrid_faults::FaultPlan
+#[derive(Default)]
+struct LinkFault {
+    /// Link outage: every offered packet is dropped.
+    down: bool,
+    /// Probability (thousandths) of dropping each offered packet.
+    loss_per_mille: u32,
+    /// Probability (thousandths) of corrupting each serialized packet
+    /// (it burns its wire time, then is discarded on arrival).
+    corrupt_per_mille: u32,
+    /// Probability (thousandths) of swapping each serialized packet with
+    /// its in-flight predecessor (out-of-order delivery).
+    reorder_per_mille: u32,
+    /// When `n > 0`, every `n`-th offered packet is discarded.
+    drop_every: u64,
+    offered: u64,
+    /// Per-link stream forked from the simulation RNG the first time a
+    /// probabilistic impairment is configured, so loss rolls on one link
+    /// never perturb another link's stream.
+    rng: Option<SimRng>,
+}
+
+impl LinkFault {
+    fn ensure_rng(&mut self) {
+        if self.rng.is_none() {
+            self.rng = Some(fork_rng());
+        }
+    }
+
+    /// True with probability `per_mille / 1000`.
+    fn roll(&mut self, per_mille: u32) -> bool {
+        if per_mille == 0 {
+            return false;
+        }
+        self.ensure_rng();
+        self.rng.as_mut().expect("rng set").below(1000) < u64::from(per_mille)
+    }
+
+    /// Decide whether the next offered packet is discarded before
+    /// queueing (outage, scripted periodic drop, or random loss).
+    fn drops_offered(&mut self) -> bool {
+        if self.down {
+            return true;
+        }
+        let forced = if self.drop_every > 0 {
+            self.offered += 1;
+            self.offered.is_multiple_of(self.drop_every)
+        } else {
+            false
+        };
+        forced || self.roll(self.loss_per_mille)
+    }
+}
 
 struct LinkState {
     queue: RefCell<VecDeque<Packet>>,
@@ -134,20 +211,22 @@ struct LinkState {
     inflight: RefCell<VecDeque<(SimTime, Packet)>>,
     arrived: Notify,
     stats: RefCell<LinkStats>,
-    /// Deterministic fault injection: when `n > 0`, every `n`-th packet
-    /// offered to this link is discarded before queueing.
-    force_drop_every: Cell<u64>,
-    offered: Cell<u64>,
+    fault: RefCell<LinkFault>,
 }
 
 /// Pre-resolved metric handles: the engine touches these once per packet,
 /// so the per-call name lookup in the registry's `BTreeMap` is hoisted to
 /// network construction.
-struct NetMetrics {
+pub(crate) struct NetMetrics {
     packets_tx: Counter,
     bytes_tx: Counter,
     drops: Counter,
     queue_depth: HistogramHandle,
+    /// Transfers that entered a retransmission stall (first timeout with
+    /// no ack progress).
+    pub(crate) stalls: Counter,
+    /// Time from a stall's first timeout until ack progress resumed.
+    pub(crate) recovery_latency_ns: HistogramHandle,
 }
 
 struct RxTransfer {
@@ -178,7 +257,7 @@ pub(crate) struct NetInner {
     /// (the delay is one constant, so arrivals are FIFO).
     loopback: RefCell<VecDeque<(SimTime, Packet)>>,
     loopback_arrived: Notify,
-    m: NetMetrics,
+    pub(crate) m: NetMetrics,
 }
 
 /// The simulated network. Must be created inside a running simulation (its
@@ -208,8 +287,7 @@ impl Network {
                     inflight: RefCell::new(VecDeque::with_capacity(slots)),
                     arrived: Notify::new(),
                     stats: RefCell::new(LinkStats::default()),
-                    force_drop_every: Cell::new(0),
-                    offered: Cell::new(0),
+                    fault: RefCell::new(LinkFault::default()),
                 }
             })
             .collect();
@@ -235,6 +313,11 @@ impl Network {
                     queue_depth: obs::histogram_handle(
                         "net.queue_depth_bytes",
                         mgrid_desim::metrics::SIZE_BOUNDS_BYTES,
+                    ),
+                    stalls: obs::counter_handle("net.stalls"),
+                    recovery_latency_ns: obs::histogram_handle(
+                        "net.recovery_latency_ns",
+                        mgrid_desim::metrics::TIME_BOUNDS_NS,
                     ),
                 },
             }),
@@ -298,28 +381,125 @@ impl Network {
     /// hook fault-injection tests use to exercise the go-back-N recovery
     /// path without depending on queue-sizing side effects.
     pub fn force_drop_every(&self, lid: LinkId, every: u64) {
-        let link = &self.inner.links[lid.0];
-        link.force_drop_every.set(every);
-        link.offered.set(0);
+        let mut f = self.inner.links[lid.0].fault.borrow_mut();
+        f.drop_every = every;
+        f.offered = 0;
+    }
+
+    /// Take a directed link down (`true`) or bring it back up (`false`).
+    /// While down, every offered packet is dropped (and accounted like a
+    /// queue drop); packets already in flight still arrive.
+    pub fn set_link_down(&self, lid: LinkId, down: bool) {
+        self.inner.links[lid.0].fault.borrow_mut().down = down;
+    }
+
+    /// Drop each packet offered to `lid` with probability
+    /// `per_mille / 1000` (`0` disables). Rolls draw from a per-link RNG
+    /// stream forked from the simulation seed.
+    pub fn set_link_loss(&self, lid: LinkId, per_mille: u32) {
+        assert!(per_mille <= 1000, "loss per_mille {per_mille} > 1000");
+        let mut f = self.inner.links[lid.0].fault.borrow_mut();
+        if per_mille > 0 {
+            f.ensure_rng();
+        }
+        f.loss_per_mille = per_mille;
+    }
+
+    /// Corrupt each packet serialized on `lid` with probability
+    /// `per_mille / 1000`: the packet consumes its transmission time but
+    /// is discarded at arrival, as a checksum failure would discard it.
+    pub fn set_link_corruption(&self, lid: LinkId, per_mille: u32) {
+        assert!(per_mille <= 1000, "corrupt per_mille {per_mille} > 1000");
+        let mut f = self.inner.links[lid.0].fault.borrow_mut();
+        if per_mille > 0 {
+            f.ensure_rng();
+        }
+        f.corrupt_per_mille = per_mille;
+    }
+
+    /// Swap each packet serialized on `lid` with its in-flight
+    /// predecessor with probability `per_mille / 1000`, modeling
+    /// out-of-order delivery (arrival instants are unchanged; only the
+    /// packet order swaps).
+    pub fn set_link_reordering(&self, lid: LinkId, per_mille: u32) {
+        assert!(per_mille <= 1000, "reorder per_mille {per_mille} > 1000");
+        let mut f = self.inner.links[lid.0].fault.borrow_mut();
+        if per_mille > 0 {
+            f.ensure_rng();
+        }
+        f.reorder_per_mille = per_mille;
+    }
+
+    /// Apply one scripted fault to this network. Link faults resolve
+    /// their endpoint names against the topology and configure both
+    /// directions of the duplex link; host-level faults are not the
+    /// network's business and are ignored (the host models subscribe to
+    /// the same [`FaultBus`]). Names that don't resolve are ignored —
+    /// plans are validated against the grid configuration upstream.
+    pub fn apply_fault(&self, kind: &FaultKind) {
+        match kind {
+            FaultKind::LinkDown { a, b } => self.set_named_link(a, b, |n, l| {
+                n.set_link_down(l, true);
+            }),
+            FaultKind::LinkUp { a, b } => self.set_named_link(a, b, |n, l| {
+                n.set_link_down(l, false);
+            }),
+            FaultKind::LinkLoss { a, b, per_mille } => self.set_named_link(a, b, |n, l| {
+                n.set_link_loss(l, *per_mille);
+            }),
+            FaultKind::LinkCorrupt { a, b, per_mille } => self.set_named_link(a, b, |n, l| {
+                n.set_link_corruption(l, *per_mille);
+            }),
+            FaultKind::LinkReorder { a, b, per_mille } => self.set_named_link(a, b, |n, l| {
+                n.set_link_reordering(l, *per_mille);
+            }),
+            FaultKind::Partition { side_a, side_b } => self.set_cut(side_a, side_b, true),
+            FaultKind::HealPartition { side_a, side_b } => self.set_cut(side_a, side_b, false),
+            _ => {}
+        }
+    }
+
+    /// Subscribe this network to a fault bus: every published link fault
+    /// is applied via [`Network::apply_fault`].
+    pub fn attach_faults(&self, bus: &FaultBus) {
+        let net = self.clone();
+        bus.subscribe(move |kind| net.apply_fault(kind));
+    }
+
+    fn set_named_link(&self, a: &str, b: &str, f: impl Fn(&Network, LinkId)) {
+        let topo = &self.inner.topo;
+        if let (Some(na), Some(nb)) = (topo.node_by_name(a), topo.node_by_name(b)) {
+            for lid in topo.links_between(na, nb) {
+                f(self, lid);
+            }
+        }
+    }
+
+    /// Set every directed link crossing the `side_a` / `side_b` cut down
+    /// (or back up).
+    fn set_cut(&self, side_a: &[String], side_b: &[String], down: bool) {
+        let topo = &self.inner.topo;
+        let sa: FxHashSet<&str> = side_a.iter().map(String::as_str).collect();
+        let sb: FxHashSet<&str> = side_b.iter().map(String::as_str).collect();
+        for lid in 0..topo.link_count() {
+            let (from, to) = topo.link_ends(LinkId(lid));
+            let (fname, tname) = (topo.node_name(from), topo.node_name(to));
+            let crosses = (sa.contains(fname) && sb.contains(tname))
+                || (sb.contains(fname) && sa.contains(tname));
+            if crosses {
+                self.set_link_down(LinkId(lid), down);
+            }
+        }
     }
 
     /// Enqueue a packet on a directed link, dropping it if the queue is
     /// full.
     fn enqueue(&self, lid: LinkId, pkt: Packet) {
         let link = &self.inner.links[lid.0];
-        let forced = {
-            let every = link.force_drop_every.get();
-            if every > 0 {
-                let n = link.offered.get() + 1;
-                link.offered.set(n);
-                n.is_multiple_of(every)
-            } else {
-                false
-            }
-        };
+        let faulted = link.fault.borrow_mut().drops_offered();
         let cap = self.inner.topo.links[lid.0].spec.queue_bytes;
         let queued = link.queued_bytes.get();
-        if forced || queued + pkt.wire_bytes > cap {
+        if faulted || queued + pkt.wire_bytes > cap {
             link.stats.borrow_mut().drops += 1;
             self.inner.stats.borrow_mut().packet_drops += 1;
             self.inner.m.drops.add(1);
@@ -407,7 +587,25 @@ impl Network {
             // at serialization time (same instant the per-packet task used
             // to compute it).
             let prop = self.inner.clock.to_physical(spec.delay);
-            link.inflight.borrow_mut().push_back((now() + prop, pkt));
+            let reorder = {
+                let mut f = link.fault.borrow_mut();
+                let r = f.reorder_per_mille;
+                f.roll(r)
+            };
+            {
+                let mut infl = link.inflight.borrow_mut();
+                infl.push_back((now() + prop, pkt));
+                let n = infl.len();
+                if reorder && n >= 2 {
+                    // Swap the packets but keep each arrival deadline in
+                    // place, so deliveries stay time-ordered while the
+                    // contents arrive out of order.
+                    infl.swap(n - 2, n - 1);
+                    let t = infl[n - 2].0;
+                    infl[n - 2].0 = infl[n - 1].0;
+                    infl[n - 1].0 = t;
+                }
+            }
             link.arrived.notify_one();
         }
     }
@@ -422,6 +620,25 @@ impl Network {
             match next {
                 Some((at, pkt)) => {
                     sleep_until(at).await;
+                    let link = &self.inner.links[lid.0];
+                    let corrupted = {
+                        let mut f = link.fault.borrow_mut();
+                        let c = f.corrupt_per_mille;
+                        f.roll(c)
+                    };
+                    if corrupted {
+                        // The packet burned its wire time but fails its
+                        // checksum on arrival; account it like a drop so
+                        // per-link and global totals stay consistent.
+                        link.stats.borrow_mut().drops += 1;
+                        self.inner.stats.borrow_mut().packet_drops += 1;
+                        self.inner.m.drops.add(1);
+                        obs::emit(|| Event::PacketDrop {
+                            link: lid.0,
+                            bytes: pkt.wire_bytes,
+                        });
+                        continue;
+                    }
                     self.deliver(to_node, pkt);
                 }
                 None => self.inner.links[lid.0].arrived.notified().await,

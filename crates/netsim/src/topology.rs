@@ -208,6 +208,27 @@ impl Topology {
         &self.nodes[id.0].name
     }
 
+    /// Node with the given name, if any.
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.nodes.iter().position(|n| n.name == name).map(NodeId)
+    }
+
+    /// Both directed links joining `a` and `b` (either direction), in
+    /// link-index order. Empty if the nodes are not adjacent.
+    pub fn links_between(&self, a: NodeId, b: NodeId) -> Vec<LinkId> {
+        self.links
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| (l.from == a && l.to == b) || (l.from == b && l.to == a))
+            .map(|(i, _)| LinkId(i))
+            .collect()
+    }
+
+    /// Endpoints `(from, to)` of a directed link.
+    pub fn link_ends(&self, id: LinkId) -> (NodeId, NodeId) {
+        (self.links[id.0].from, self.links[id.0].to)
+    }
+
     /// Kind of a node.
     pub fn node_kind(&self, id: NodeId) -> NodeKind {
         self.nodes[id.0].kind

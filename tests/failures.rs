@@ -171,8 +171,10 @@ fn process_exit_mid_compute_is_clean() {
         survivor.compute_mops(533.0).await;
         let wall = (mgrid_desim::now() - t0).as_secs_f64();
         assert!((wall - 1.0).abs() < 0.05, "survivor wall {wall}");
-        // The victim's task ends (dropped request), not hangs.
+        // The victim's in-flight compute halts permanently (crash
+        // semantics: a dead process's CPU request never completes) —
+        // parked, not completed, and not wedging the simulation.
         mgrid_desim::sleep(SimDuration::from_millis(1)).await;
-        assert!(h.is_finished());
+        assert!(!h.is_finished(), "dead process's compute must not return");
     });
 }
