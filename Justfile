@@ -11,10 +11,12 @@ test:
     cargo test --workspace
 
 # Documentation, formatting, and lint gate — keep these warning-free.
+# Also verifies every relative link/anchor in README.md and docs/.
 docs:
-    cargo doc --no-deps --workspace
+    RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
     cargo fmt --check
     cargo clippy --workspace --all-targets -- -D warnings
+    cargo run -p mgrid-lint --bin linkcheck
 
 # Determinism & safety static analysis (rule catalog: docs/LINTS.md).
 lint:
@@ -32,6 +34,7 @@ figures:
 # results/chaos.json (`chaos --bless` re-anchors after intended changes).
 chaos:
     cargo run --release -p mgrid-bench --bin chaos -- --check
+    MGRID_SHARDS=4 cargo run --release -p mgrid-bench --bin chaos -- --check
 
 # Criterion microbenches: engine throughput + per-figure regenerations.
 bench:

@@ -14,6 +14,7 @@
 //! report is virtual-time; nothing depends on the host).
 
 use mgrid_bench::experiments::chaos;
+use mgrid_bench::runner::{run_scenarios, shard_count, Scenario as Job};
 use microgrid::Report;
 
 const TRACKED: &str = "results/chaos.json";
@@ -55,12 +56,27 @@ fn main() {
         }
     }
 
+    // Each scenario runs twice; under MGRID_SHARDS the four runs fan out
+    // on the sharded engine's job pool. Scenarios are self-contained
+    // simulations, so the tracked output stays byte-identical at any
+    // shard count — exactly what `--check` verifies in the sharded CI
+    // rerun.
+    if shard_count() > 1 {
+        eprintln!("(MGRID_SHARDS={}: sharded scenario runs)", shard_count());
+    }
+    let mut jobs: Vec<Job<Report>> = Vec::new();
+    for s in scenarios() {
+        for pass in 1..=2 {
+            eprintln!("scenario {} (run {pass}/2) ...", s.id);
+            let run = s.run;
+            jobs.push(Box::new(run));
+        }
+    }
+    let mut runs = run_scenarios(jobs).into_iter();
     let mut reports = Vec::new();
     for s in scenarios() {
-        eprintln!("scenario {} (run 1/2) ...", s.id);
-        let first = (s.run)();
-        eprintln!("scenario {} (run 2/2) ...", s.id);
-        let second = (s.run)();
+        let first = runs.next().expect("first run");
+        let second = runs.next().expect("second run");
         let (a, b) = (first.to_json(), second.to_json());
         if a != b {
             eprintln!("FAIL: scenario {} diverged between same-seed runs", s.id);

@@ -49,6 +49,21 @@ struct Measurements {
     repro_total_ms: f64,
 }
 
+/// The sharded-engine section: the parallel-capable figures re-run with
+/// `MGRID_SHARDS` scenario sharding (see `docs/PARALLEL.md`).
+#[derive(Serialize, Deserialize, Clone, Default)]
+struct ParMeasurements {
+    /// Shard count the parallel sweep ran with.
+    par_shards: usize,
+    /// `available_parallelism()` on the recording machine; the speedups
+    /// below are bounded by it (a 1-core runner records ~1.0x).
+    machine_parallelism: usize,
+    /// Wall milliseconds per sharded figure at `par_shards`.
+    par_figures_ms: BTreeMap<String, f64>,
+    /// Per-figure serial ms / sharded ms.
+    par_speedup: BTreeMap<String, f64>,
+}
+
 #[derive(Serialize, Deserialize, Clone, Default)]
 struct Speedup {
     /// Baseline total figure time / current total figure time.
@@ -68,6 +83,9 @@ struct BenchFile {
     baseline: Measurements,
     current: Measurements,
     speedup: Speedup,
+    /// Sharded-run results; `None` in files written before the sharded
+    /// engine existed (older JSON parses with the field absent).
+    par: Option<ParMeasurements>,
 }
 
 fn bench_timer_events() -> f64 {
@@ -221,6 +239,46 @@ fn measure() -> Measurements {
     m
 }
 
+/// Figures with enough independent scenarios to profit from sharding —
+/// the ones `run_scenarios` fans out under `MGRID_SHARDS`.
+const PAR_FIGS: [&str; 3] = ["fig10", "fig12", "fig17"];
+
+/// Re-run the parallel-capable figures with scenario sharding enabled
+/// and record wall time against the serial sweep just measured. Results
+/// stay byte-identical (`run_scenarios` merges in submission order);
+/// only the wall clock moves.
+fn measure_par(serial: &Measurements) -> ParMeasurements {
+    let prior = std::env::var("MGRID_SHARDS").ok();
+    let shards = prior
+        .as_deref()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(4);
+    let mut par = ParMeasurements {
+        par_shards: shards,
+        machine_parallelism: std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+        ..ParMeasurements::default()
+    };
+    std::env::set_var("MGRID_SHARDS", shards.to_string());
+    for f in figures().into_iter().filter(|f| PAR_FIGS.contains(&f.id)) {
+        eprintln!("figure {} (MGRID_SHARDS={shards}) ...", f.id);
+        let t0 = std::time::Instant::now();
+        let _ = (f.run)();
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        let serial_ms = serial.figures_ms.get(f.id).copied().unwrap_or(0.0);
+        par.par_speedup
+            .insert(f.id.to_string(), ratio(serial_ms, ms));
+        par.par_figures_ms.insert(f.id.to_string(), ms);
+    }
+    match prior {
+        Some(v) => std::env::set_var("MGRID_SHARDS", v),
+        None => std::env::remove_var("MGRID_SHARDS"),
+    }
+    par
+}
+
 fn ratio(num: f64, den: f64) -> f64 {
     if den > 0.0 {
         num / den
@@ -255,6 +313,7 @@ fn main() {
     }
 
     let current = measure();
+    let par = measure_par(&current);
 
     // Preserve an existing baseline unless re-anchoring was requested.
     let baseline = out
@@ -276,6 +335,7 @@ fn main() {
         },
         baseline,
         current,
+        par: Some(par),
     };
 
     println!("== simulation core performance ==");
@@ -300,6 +360,18 @@ fn main() {
         "total    {:>12.1} ms  ({:.2}x baseline)",
         file.current.repro_total_ms, file.speedup.repro_total
     );
+    if let Some(par) = &file.par {
+        println!(
+            "-- sharded figures (MGRID_SHARDS={}, {} cores) --",
+            par.par_shards, par.machine_parallelism
+        );
+        for (id, ms) in &par.par_figures_ms {
+            println!(
+                "{id:<8} {ms:>12.1} ms  ({:.2}x vs serial)",
+                par.par_speedup.get(id).copied().unwrap_or(0.0)
+            );
+        }
+    }
 
     if let Some(path) = out {
         let json = serde_json::to_string_pretty(&file).expect("serialize bench file");

@@ -6,7 +6,7 @@ use microgrid::apps::{rms_skew_percent, WaveToyConfig};
 use microgrid::desim::time::SimDuration;
 use microgrid::{presets, ComparisonRow, Report, Series};
 
-use crate::runner::{fast_mode, run_npb_with_sensors, run_wavetoy, Mode};
+use crate::runner::{fast_mode, run_npb_with_sensors, run_scenarios, run_wavetoy, Mode, Scenario};
 
 /// Fig 16: CACTUS WaveToy on the physical cluster vs the MicroGrid model
 /// of it, grid sizes 50 and 250.
@@ -51,34 +51,42 @@ pub fn fig17_autopilot() -> Report {
     );
     // Long enough to cover any class A run at 1 sample per virtual second.
     let horizon = SimDuration::from_secs(600);
-    for bench in [NpbBenchmark::EP, NpbBenchmark::BT, NpbBenchmark::MG] {
-        let (pr, ptrace) = run_npb_with_sensors(
-            presets::alpha_cluster(),
-            Mode::Physical,
-            bench,
-            class,
-            horizon,
-        );
-        let (mr, mtrace) = run_npb_with_sensors(
-            presets::fig17_cluster(),
-            Mode::MicroGrid,
-            bench,
-            class,
-            horizon,
-        );
-        assert!(pr.verified && mr.verified);
-        let n = ptrace.len().min(mtrace.len());
-        let skew = rms_skew_percent(&ptrace[..n], &mtrace[..n]);
-        rep.series.push(Series {
-            label: format!("{} skew%", bench.name()),
-            points: vec![
-                ("rms_skew_percent".into(), skew),
-                ("samples".into(), n as f64),
-                ("physical_seconds".into(), pr.virtual_seconds),
-                ("microgrid_seconds".into(), mr.virtual_seconds),
-            ],
-        });
-    }
+    // Each benchmark's physical/MicroGrid pair is an independent
+    // scenario, sharded under MGRID_SHARDS with byte-identical series.
+    let jobs: Vec<Scenario<Series>> = [NpbBenchmark::EP, NpbBenchmark::BT, NpbBenchmark::MG]
+        .into_iter()
+        .map(|bench| {
+            Box::new(move || {
+                let (pr, ptrace) = run_npb_with_sensors(
+                    presets::alpha_cluster(),
+                    Mode::Physical,
+                    bench,
+                    class,
+                    horizon,
+                );
+                let (mr, mtrace) = run_npb_with_sensors(
+                    presets::fig17_cluster(),
+                    Mode::MicroGrid,
+                    bench,
+                    class,
+                    horizon,
+                );
+                assert!(pr.verified && mr.verified);
+                let n = ptrace.len().min(mtrace.len());
+                let skew = rms_skew_percent(&ptrace[..n], &mtrace[..n]);
+                Series {
+                    label: format!("{} skew%", bench.name()),
+                    points: vec![
+                        ("rms_skew_percent".into(), skew),
+                        ("samples".into(), n as f64),
+                        ("physical_seconds".into(), pr.virtual_seconds),
+                        ("microgrid_seconds".into(), mr.virtual_seconds),
+                    ],
+                }
+            }) as Scenario<Series>
+        })
+        .collect();
+    rep.series = run_scenarios(jobs);
     rep.notes
         .push("paper skews: EP 3.08%, BT 2.02%, MG 8.33%".into());
     rep

@@ -6,7 +6,7 @@ use microgrid::apps::npb::{NpbBenchmark, NpbClass};
 use microgrid::desim::time::SimDuration;
 use microgrid::{presets, ComparisonRow, Report, Series};
 
-use crate::runner::{class_for_run, run_npb, Mode};
+use crate::runner::{class_for_run, run_npb, run_scenarios, Mode, Scenario};
 
 /// Fig 9: the two virtual Grid configurations studied.
 pub fn fig9_configs() -> Report {
@@ -48,18 +48,27 @@ pub fn fig10_npb() -> Report {
         "fig10",
         format!("NPB class {} totals: physical vs MicroGrid", class.name()),
     );
+    // One scenario per (configuration, benchmark) pair: each is an
+    // independent pair of simulations, so the figure shards freely
+    // under MGRID_SHARDS with byte-identical rows.
+    let mut jobs: Vec<Scenario<ComparisonRow>> = Vec::new();
     for config in [presets::alpha_cluster(), presets::hpvm_cluster()] {
         for bench in benches(true) {
-            let phys = run_npb(config.clone(), Mode::Physical, bench, class);
-            let mgrid = run_npb(config.clone(), Mode::MicroGrid, bench, class);
-            assert!(phys.verified && mgrid.verified, "verification failed");
-            rep.rows.push(ComparisonRow {
-                label: format!("{} ({})", bench.name(), config.name),
-                physical_seconds: phys.virtual_seconds,
-                microgrid_seconds: mgrid.virtual_seconds,
-            });
+            let config = config.clone();
+            jobs.push(Box::new(move || {
+                let label = format!("{} ({})", bench.name(), config.name);
+                let phys = run_npb(config.clone(), Mode::Physical, bench, class);
+                let mgrid = run_npb(config, Mode::MicroGrid, bench, class);
+                assert!(phys.verified && mgrid.verified, "verification failed");
+                ComparisonRow {
+                    label,
+                    physical_seconds: phys.virtual_seconds,
+                    microgrid_seconds: mgrid.virtual_seconds,
+                }
+            }));
         }
     }
+    rep.rows = run_scenarios(jobs);
     rep.notes
         .push("paper: IS/LU/MG within 2%, EP/BT within 4%".into());
     rep
@@ -108,22 +117,33 @@ pub fn fig12_cpu_scaling() -> Report {
             class.name()
         ),
     );
+    // One scenario per (benchmark, multiplier) run; normalization to the
+    // 1x run happens after the sharded sweep, in submission order.
+    let mults = [1.0, 2.0, 4.0, 8.0];
+    let mut jobs: Vec<Scenario<f64>> = Vec::new();
     for bench in benches(false) {
-        let mut base = None;
-        let mut points = Vec::new();
-        for mult in [1.0, 2.0, 4.0, 8.0] {
-            let r = run_npb(
-                presets::cpu_scaled_cluster(mult),
-                Mode::MicroGrid,
-                bench,
-                class,
-            );
-            let b = *base.get_or_insert(r.virtual_seconds);
-            points.push((format!("{mult}x CPU"), r.virtual_seconds / b));
+        for mult in mults {
+            jobs.push(Box::new(move || {
+                run_npb(
+                    presets::cpu_scaled_cluster(mult),
+                    Mode::MicroGrid,
+                    bench,
+                    class,
+                )
+                .virtual_seconds
+            }));
         }
+    }
+    let times = run_scenarios(jobs);
+    for (bi, bench) in benches(false).into_iter().enumerate() {
+        let base = times[bi * mults.len()];
         rep.series.push(Series {
             label: bench.name().into(),
-            points,
+            points: mults
+                .iter()
+                .enumerate()
+                .map(|(mi, mult)| (format!("{mult}x CPU"), times[bi * mults.len() + mi] / base))
+                .collect(),
         });
     }
     rep.notes.push(

@@ -151,6 +151,56 @@ pub fn repro_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// Scenario-shard count for within-figure parallelism: `MGRID_SHARDS`
+/// if set (minimum 1), otherwise 1 — the sequential engine. See
+/// `docs/PARALLEL.md` for tuning guidance.
+pub fn shard_count() -> usize {
+    std::env::var("MGRID_SHARDS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
+/// A type-erased independent scenario of one figure.
+pub type Scenario<R> = Box<dyn FnOnce() -> R + Send>;
+
+/// Run one figure's independent scenarios on the sharded engine's job
+/// pool ([`mgrid_desim::shard::run_jobs`] via the `microgrid` re-export),
+/// honouring [`shard_count`].
+///
+/// Results come back in submission order and each scenario is a
+/// self-contained deterministic simulation, so the figure is
+/// byte-identical at every shard count. Per-scenario metrics are captured
+/// on the worker that ran the scenario and folded into this thread's
+/// accumulator; [`MetricsSnapshot::merge`] is commutative and
+/// associative, so the merged figure snapshot is also shard-invariant.
+pub fn run_scenarios<R: Send + 'static>(jobs: Vec<Scenario<R>>) -> Vec<R> {
+    let shards = shard_count();
+    if shards <= 1 || jobs.len() <= 1 {
+        // Sequential path: exactly the historical loop, metrics flow
+        // straight into this thread's accumulator via `note_run`.
+        return jobs.into_iter().map(|j| j()).collect();
+    }
+    let wrapped: Vec<_> = jobs
+        .into_iter()
+        .map(|j| {
+            Box::new(move || {
+                let r = j();
+                (r, take_metrics())
+            }) as Box<dyn FnOnce() -> (R, MetricsSnapshot) + Send>
+        })
+        .collect();
+    let mut out = Vec::with_capacity(wrapped.len());
+    for (r, snap) in microgrid::desim::shard::run_jobs(shards, wrapped) {
+        if !snap.is_empty() {
+            ACCUM.with(|a| a.borrow_mut().merge(&snap));
+        }
+        out.push(r);
+    }
+    out
+}
+
 /// Class A normally, class S in fast mode.
 pub fn class_for_run() -> NpbClass {
     if fast_mode() {

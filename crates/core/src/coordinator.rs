@@ -109,6 +109,7 @@ mod tests {
             quantum: SimDuration::from_millis(10),
             seed: 0,
             faults: None,
+            shards: None,
         }
     }
 

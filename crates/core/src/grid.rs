@@ -41,6 +41,29 @@ pub struct VirtualGrid {
 impl VirtualGrid {
     /// Bring up the MicroGrid for `config` (must be called inside a
     /// running simulation).
+    ///
+    /// # Examples
+    ///
+    /// Assemble the paper's Alpha cluster and run a 4-rank SPMD body on
+    /// it:
+    ///
+    /// ```
+    /// use microgrid::desim::Simulation;
+    /// use microgrid::mpi::MpiParams;
+    /// use microgrid::{presets, VirtualGrid};
+    ///
+    /// let mut sim = Simulation::new(42);
+    /// let ranks = sim.block_on(async {
+    ///     let grid = VirtualGrid::build(presets::alpha_cluster()).unwrap();
+    ///     let hosts = grid.host_names();
+    ///     grid.mpirun(&hosts, MpiParams::default(), |comm| async move {
+    ///         comm.barrier().await.unwrap();
+    ///         comm.rank()
+    ///     })
+    ///     .await
+    /// });
+    /// assert_eq!(ranks, vec![0, 1, 2, 3]);
+    /// ```
     pub fn build(config: GridConfig) -> Result<VirtualGrid, ConfigError> {
         let plan = plan_rate(&config)?;
         Self::assemble(config, Some(plan), false)

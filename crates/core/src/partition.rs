@@ -1,0 +1,251 @@
+//! Grid partitioner for sharded parallel runs.
+//!
+//! Splits a [`GridConfig`] into logical processes for the sharded engine
+//! (`mgrid_desim::shard`). The partitioning unit is the **physical host**:
+//! every virtual host mapped onto a physical host shares its scheduler
+//! state, so they must land in one shard. Units (physical hosts and
+//! routers) are merged Kruskal-style along the *lowest*-latency links
+//! first, which means the final cut runs along the **highest**-latency
+//! links — exactly where conservative lookahead is cheapest, because the
+//! lookahead of the run is the minimum propagation delay across the cut.
+//!
+//! The result is deterministic: units are numbered in configuration
+//! order, edges sort by `(delay, config order)`, and shard ids are
+//! assigned by the smallest unit index each group contains.
+
+use mgrid_desim::time::SimDuration;
+use mgrid_desim::FxHashMap;
+
+use crate::config::GridConfig;
+
+/// The outcome of partitioning a grid into shards.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    /// Number of shards actually produced (≤ requested; a grid can never
+    /// split finer than its physical hosts + routers).
+    pub shards: usize,
+    /// Shard of every network node (virtual host or router), by name.
+    pub node_shard: FxHashMap<String, usize>,
+    /// Conservative lookahead: the minimum propagation delay over cut
+    /// links. `None` when nothing is cut (single shard or disconnected
+    /// groups with no cross traffic).
+    pub lookahead: Option<SimDuration>,
+}
+
+impl Partition {
+    /// Shard of node `name`, if it exists in the grid.
+    pub fn shard_of(&self, name: &str) -> Option<usize> {
+        self.node_shard.get(name).copied()
+    }
+}
+
+struct Dsu {
+    parent: Vec<usize>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu {
+            parent: (0..n).collect(),
+        }
+    }
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let r = self.find(self.parent[x]);
+            self.parent[x] = r;
+            r
+        } else {
+            x
+        }
+    }
+    fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        // Attach the larger root under the smaller so shard numbering by
+        // minimum unit index stays stable.
+        let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+        self.parent[hi] = lo;
+        true
+    }
+}
+
+/// Partition `config` into (at most) `shards` groups along its
+/// highest-latency links.
+///
+/// # Examples
+///
+/// ```
+/// use microgrid::{partition::partition, presets};
+/// use mgrid_desim::time::SimDuration;
+///
+/// // The vBNS testbed: two LAN sites joined by a 25 ms long-haul link.
+/// let cfg = presets::vbns_grid(155e6);
+/// let part = partition(&cfg, 2);
+/// assert_eq!(part.shards, 2);
+/// // The cut lands on the cross-country hop, so both UCSD processes
+/// // stay together and the lookahead is the 25 ms bottleneck delay.
+/// assert_eq!(part.shard_of("ucsd0"), part.shard_of("ucsd1"));
+/// assert_eq!(part.shard_of("uiuc0"), part.shard_of("uiuc1"));
+/// assert_ne!(part.shard_of("ucsd0"), part.shard_of("uiuc0"));
+/// assert_eq!(part.lookahead, Some(SimDuration::from_millis(25)));
+/// ```
+pub fn partition(config: &GridConfig, shards: usize) -> Partition {
+    let shards = shards.max(1);
+
+    // Units: physical hosts first (in config order), then routers.
+    let mut unit_of: FxHashMap<&str, usize> = FxHashMap::default();
+    for p in &config.physical_hosts {
+        let next = unit_of.len();
+        unit_of.entry(p.name.as_str()).or_insert(next);
+    }
+    for r in &config.network.routers {
+        let next = unit_of.len();
+        unit_of.entry(r.as_str()).or_insert(next);
+    }
+    // Virtual hosts resolve to their physical host's unit.
+    let vhost_unit: FxHashMap<&str, usize> = config
+        .virtual_hosts
+        .iter()
+        .map(|v| (v.spec.name.as_str(), unit_of[v.mapped_to.as_str()]))
+        .collect();
+    let unit = |name: &str| -> usize {
+        vhost_unit
+            .get(name)
+            .or_else(|| unit_of.get(name))
+            .copied()
+            .expect("validated config names resolve")
+    };
+
+    let n_units = unit_of.len();
+    let target = shards.min(n_units);
+    let mut dsu = Dsu::new(n_units);
+    let mut groups = n_units;
+
+    // Kruskal: merge along the cheapest (lowest-delay) links first, so
+    // the links left uncut — the shard boundary — are the slowest ones.
+    let mut edges: Vec<(SimDuration, usize, usize, usize)> = config
+        .network
+        .links
+        .iter()
+        .enumerate()
+        .map(|(i, l)| (l.delay, i, unit(&l.a), unit(&l.b)))
+        .collect();
+    edges.sort_by_key(|e| (e.0, e.1));
+    for &(_, _, a, b) in &edges {
+        if groups <= target {
+            break;
+        }
+        if dsu.union(a, b) {
+            groups -= 1;
+        }
+    }
+    // Disconnected leftovers beyond the target collapse into unit 0's
+    // group (no cross-traffic, so the merge costs nothing).
+    if groups > target {
+        for u in 1..n_units {
+            if groups <= target {
+                break;
+            }
+            if dsu.union(0, u) {
+                groups -= 1;
+            }
+        }
+    }
+
+    // Number shards by the smallest unit index in each group.
+    let mut shard_of_root: FxHashMap<usize, usize> = FxHashMap::default();
+    let mut roots: Vec<usize> = (0..n_units).map(|u| dsu.find(u)).collect();
+    {
+        let mut seen: Vec<usize> = roots.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        for (i, r) in seen.into_iter().enumerate() {
+            shard_of_root.insert(r, i);
+        }
+    }
+    let shard_of_unit = |u: usize, roots: &[usize]| shard_of_root[&roots[u]];
+    roots = (0..n_units).map(|u| dsu.find(u)).collect();
+
+    let mut node_shard = FxHashMap::default();
+    for v in &config.virtual_hosts {
+        node_shard.insert(
+            v.spec.name.clone(),
+            shard_of_unit(vhost_unit[v.spec.name.as_str()], &roots),
+        );
+    }
+    for r in &config.network.routers {
+        node_shard.insert(r.clone(), shard_of_unit(unit_of[r.as_str()], &roots));
+    }
+
+    let lookahead = config
+        .network
+        .links
+        .iter()
+        .filter(|l| node_shard[&l.a] != node_shard[&l.b])
+        .map(|l| l.delay)
+        .min();
+
+    Partition {
+        shards: shard_of_root.len(),
+        node_shard,
+        lookahead,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn single_shard_cuts_nothing() {
+        let cfg = presets::alpha_cluster();
+        let p = partition(&cfg, 1);
+        assert_eq!(p.shards, 1);
+        assert!(p.lookahead.is_none());
+        assert!(p.node_shard.values().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn vbns_cuts_the_long_haul_link() {
+        let cfg = presets::vbns_grid(622e6);
+        let p = partition(&cfg, 2);
+        assert_eq!(p.shards, 2);
+        // Sites stay whole; the 25 ms vBNS hop is the boundary.
+        assert_eq!(p.shard_of("ucsd0"), p.shard_of("ucsd-gw"));
+        assert_eq!(p.shard_of("uiuc1"), p.shard_of("uiuc-gw"));
+        assert_ne!(p.shard_of("vbns-la"), p.shard_of("vbns-chi"));
+        assert_eq!(p.lookahead, Some(SimDuration::from_millis(25)));
+    }
+
+    #[test]
+    fn request_beyond_units_clamps() {
+        let cfg = presets::vbns_grid(155e6);
+        // 4 physical hosts + 6 routers = 10 units max.
+        let p = partition(&cfg, 64);
+        assert_eq!(p.shards, 10);
+    }
+
+    #[test]
+    fn vhosts_follow_their_physical_host() {
+        let mut cfg = presets::vbns_grid(155e6);
+        // Remap both UIUC processes onto one physical host: they must
+        // now share a shard no matter where the links point.
+        cfg.virtual_hosts[3].mapped_to = "phys2".into();
+        let p = partition(&cfg, 8);
+        assert_eq!(p.shard_of("uiuc0"), p.shard_of("uiuc1"));
+    }
+
+    #[test]
+    fn numbering_is_deterministic() {
+        let cfg = presets::vbns_grid(155e6);
+        let a = partition(&cfg, 3);
+        let b = partition(&cfg, 3);
+        assert_eq!(a.shards, b.shards);
+        for (k, v) in &a.node_shard {
+            assert_eq!(b.node_shard.get(k), Some(v), "node {k}");
+        }
+    }
+}

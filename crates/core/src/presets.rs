@@ -64,6 +64,7 @@ fn cluster(
         quantum: SimDuration::from_millis(10),
         seed: 20000,
         faults: None,
+        shards: None,
     }
 }
 
@@ -228,6 +229,7 @@ pub fn vbns_grid(bottleneck_bps: f64) -> GridConfig {
         quantum: SimDuration::from_millis(10),
         seed: 20013,
         faults: None,
+        shards: None,
     }
 }
 

@@ -24,7 +24,7 @@
 //!   allocating a fresh waker per poll.
 //! * **Timers** keep their tie-break-by-registration-sequence contract in
 //!   the binary heap, but waker storage is a generation-tagged slab
-//!   addressed by [`TimerHandle`]; re-arming an existing timer uses
+//!   addressed by a private `TimerHandle`; re-arming an existing timer uses
 //!   [`Waker::will_wake`] to skip redundant clones.
 //! * The **ready queue** is a plain `VecDeque` behind an owner-thread
 //!   assertion instead of a `Mutex`: wakers are nominally `Send + Sync`,
@@ -117,6 +117,11 @@ impl ReadyQueue {
     #[inline]
     fn pop(&self) -> Option<TaskId> {
         self.with(|q| q.pop_front())
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.with(|q| q.is_empty())
     }
 }
 
@@ -307,8 +312,46 @@ impl Simulation {
 
     /// Run until the event queue is exhausted or the next event would occur
     /// after `deadline`. The clock is left at `min(deadline, final time)`.
+    ///
+    /// # Examples
+    /// ```
+    /// use mgrid_desim::time::{SimDuration, SimTime};
+    /// use mgrid_desim::Simulation;
+    ///
+    /// let mut sim = Simulation::new(7);
+    /// sim.spawn(async {
+    ///     mgrid_desim::sleep(SimDuration::from_millis(30)).await;
+    /// });
+    /// // The deadline caps the clock; the sleeper is still pending.
+    /// let t = sim.run_until(SimTime::from_nanos(10_000_000));
+    /// assert_eq!(t.as_millis(), 10);
+    /// assert_eq!(sim.live_tasks(), 1);
+    /// assert_eq!(sim.run().as_millis(), 30);
+    /// ```
     pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
         self.run_core(deadline, || false)
+    }
+
+    /// Like [`Simulation::run_until`], but also stop as soon as `stop()`
+    /// returns true (checked between event batches). The sharded engine
+    /// ([`crate::shard`]) uses this to end a logical process's final epoch
+    /// the moment every shard's root future has completed.
+    pub fn run_until_or(&mut self, deadline: SimTime, stop: impl Fn() -> bool) -> SimTime {
+        self.run_core(deadline, stop)
+    }
+
+    /// The virtual time of the next pending event: `now` when a task is
+    /// already runnable, otherwise the earliest timer deadline, otherwise
+    /// `None` (the simulation is quiescent until an external wakeup).
+    ///
+    /// Conservative parallel runs use this as a shard's contribution to
+    /// the global lower-bound-on-timestamp computation.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        if !self.inner.ready.is_empty() {
+            Some(self.inner.now.get())
+        } else {
+            self.inner.peek_timer()
+        }
     }
 
     /// The core loop: run until quiescence, the deadline, or `stop()`

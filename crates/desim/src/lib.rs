@@ -41,6 +41,7 @@ pub mod fasthash;
 pub mod metrics;
 pub mod obs;
 pub mod rng;
+pub mod shard;
 pub mod sync;
 pub mod time;
 pub mod timeout;

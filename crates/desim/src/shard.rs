@@ -1,0 +1,789 @@
+//! Deterministic sharded parallel simulation (conservative PDES).
+//!
+//! This is the **one sanctioned parallel runtime** of the simulation core:
+//! everything else in `mgrid-desim` is single-threaded by construction
+//! (and mgrid-lint's MG005 enforces that). The sharded engine runs N
+//! *logical processes* (shards) — each an ordinary, fully deterministic
+//! [`Simulation`] — on a fixed-size worker pool, and synchronizes them
+//! with conservative barrier epochs in the style of classic
+//! null-message-free CMB executives:
+//!
+//! * Every shard owns one `Simulation`, created **on its worker thread**
+//!   (the executor's ready queue is owner-thread checked) and never
+//!   migrated.
+//! * Shards exchange timestamped messages through per-edge FIFO
+//!   **mailboxes** (one per ordered shard pair). A message exported at
+//!   virtual time `t` must arrive no earlier than `t + lookahead`, where
+//!   the *lookahead* is the minimum latency across the cut between shards
+//!   (exported by `mgrid-netsim` for grid topologies).
+//! * The engine repeatedly computes the global minimum next-event time
+//!   `m` over all shards (pending timers, runnable tasks, and undelivered
+//!   imports), then lets every shard run the half-open epoch window
+//!   `[m, m + lookahead)` in parallel. The lookahead guarantee means no
+//!   message generated inside the window can arrive inside it, so the
+//!   window is safe to execute without further coordination.
+//! * At each barrier, imports are merged **sorted by `(time, from_shard,
+//!   seq)`** and injected at their exact arrival time. Within one shard
+//!   the injection order therefore never depends on thread scheduling,
+//!   which makes an N-shard run byte-identical to the 1-shard run.
+//!
+//! With `shards = 1` (or a plan with no edges and one job) the engine
+//! runs entirely inline on the calling thread — no threads, no barriers,
+//! no mailboxes — and is the same event loop as [`Simulation::run`], so
+//! sequential behaviour is bit-for-bit unchanged.
+//!
+//! See `docs/PARALLEL.md` for the determinism argument and tuning notes
+//! (`MGRID_SHARDS`).
+
+use std::cell::{Cell, RefCell};
+use std::collections::BinaryHeap;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+
+use crate::executor::Simulation;
+use crate::time::{SimDuration, SimTime};
+
+/// How the shards of a plan may communicate.
+#[derive(Clone, Debug)]
+pub struct ShardPlan {
+    shards: usize,
+    lookahead: Option<SimDuration>,
+    max_workers: usize,
+}
+
+impl ShardPlan {
+    /// A plan for `shards` logical processes that exchange messages with
+    /// the given conservative lookahead (the minimum virtual latency any
+    /// cross-shard message experiences).
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero or `lookahead` is zero — a zero
+    /// lookahead admits no safe epoch window and the engine cannot make
+    /// progress.
+    pub fn connected(shards: usize, lookahead: SimDuration) -> Self {
+        assert!(shards > 0, "a plan needs at least one shard");
+        assert!(
+            !lookahead.is_zero(),
+            "conservative sharding requires a strictly positive lookahead"
+        );
+        ShardPlan {
+            shards,
+            lookahead: Some(lookahead),
+            max_workers: usize::MAX,
+        }
+    }
+
+    /// A plan whose shards never communicate (no cross-shard edges, so
+    /// the lookahead is effectively infinite and each shard runs to
+    /// completion in a single epoch). This is the degenerate plan behind
+    /// [`run_jobs`] — independent scenarios of one benchmark figure.
+    pub fn independent(shards: usize) -> Self {
+        assert!(shards > 0, "a plan needs at least one shard");
+        ShardPlan {
+            shards,
+            lookahead: None,
+            max_workers: usize::MAX,
+        }
+    }
+
+    /// Cap the worker pool at `n` threads. Shards are statically
+    /// assigned round-robin (`shard % workers`), so a smaller pool
+    /// multiplexes several shards per worker without affecting results.
+    pub fn with_max_workers(mut self, n: usize) -> Self {
+        assert!(n > 0, "the worker pool needs at least one thread");
+        self.max_workers = n;
+        self
+    }
+
+    /// Number of shards in the plan.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The conservative lookahead, `None` for independent shards.
+    pub fn lookahead(&self) -> Option<SimDuration> {
+        self.lookahead
+    }
+}
+
+/// A timestamped cross-shard message, as seen by the receiving shard.
+#[derive(Debug)]
+pub struct Import<M> {
+    /// Virtual arrival time (the instant the receiver must act on it).
+    pub time: SimTime,
+    /// Originating shard.
+    pub from: usize,
+    /// FIFO sequence number on the `(from, to)` mailbox edge.
+    pub seq: u64,
+    /// The message itself.
+    pub msg: M,
+}
+
+// Imports merge through a min-heap ordered by (time, from, seq): the
+// deterministic tie-break the whole engine's repeatability rests on.
+impl<M> PartialEq for Import<M> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.time, self.from, self.seq) == (other.time, other.from, other.seq)
+    }
+}
+impl<M> Eq for Import<M> {}
+impl<M> PartialOrd for Import<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Import<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.from, self.seq).cmp(&(other.time, other.from, other.seq))
+    }
+}
+
+struct Export<M> {
+    to: usize,
+    import: Import<M>,
+}
+
+/// A shard's capability to publish messages to its peers.
+///
+/// Cheap to clone; hand clones to the simulation tasks that sit on the
+/// shard boundary (e.g. netsim's cross-shard link pumps). Exports are
+/// buffered locally and shipped at the next epoch barrier, preserving
+/// per-edge FIFO order.
+pub struct ShardHandle<M> {
+    shard_id: usize,
+    shards: usize,
+    lookahead: Option<SimDuration>,
+    outbox: Rc<RefCell<Vec<Export<M>>>>,
+    /// Per-destination FIFO sequence counters.
+    seqs: Rc<Vec<Cell<u64>>>,
+}
+
+impl<M> Clone for ShardHandle<M> {
+    fn clone(&self) -> Self {
+        ShardHandle {
+            shard_id: self.shard_id,
+            shards: self.shards,
+            lookahead: self.lookahead,
+            outbox: self.outbox.clone(),
+            seqs: self.seqs.clone(),
+        }
+    }
+}
+
+impl<M> ShardHandle<M> {
+    fn new(shard_id: usize, plan: &ShardPlan) -> Self {
+        ShardHandle {
+            shard_id,
+            shards: plan.shards,
+            lookahead: plan.lookahead,
+            outbox: Rc::new(RefCell::new(Vec::new())),
+            seqs: Rc::new((0..plan.shards).map(|_| Cell::new(0)).collect()),
+        }
+    }
+
+    /// This shard's index, `0..shards`.
+    pub fn shard_id(&self) -> usize {
+        self.shard_id
+    }
+
+    /// Total number of shards in the run.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Export `msg` to shard `to`, arriving at virtual time `time`.
+    ///
+    /// Must be called from inside this shard's simulation (it reads the
+    /// simulation clock to check the lookahead contract).
+    ///
+    /// # Panics
+    /// Panics if `time` violates the plan's lookahead — i.e. the message
+    /// would arrive inside the epoch window currently being executed,
+    /// which would break determinism.
+    pub fn export(&self, to: usize, time: SimTime, msg: M) {
+        assert!(to < self.shards, "export to unknown shard {to}");
+        assert_ne!(to, self.shard_id, "a shard cannot export to itself");
+        if let Some(la) = self.lookahead {
+            let now = crate::executor::now();
+            assert!(
+                time >= now + la,
+                "lookahead violation: export at {now} arriving {time} < now + {la}"
+            );
+        }
+        let seq = self.seqs[to].get();
+        self.seqs[to].set(seq + 1);
+        self.outbox.borrow_mut().push(Export {
+            to,
+            import: Import {
+                time,
+                from: self.shard_id,
+                seq,
+                msg,
+            },
+        });
+    }
+
+    fn drain(&self) -> Vec<Export<M>> {
+        std::mem::take(&mut self.outbox.borrow_mut())
+    }
+}
+
+/// Delivery hook of a [`ShardRun`]: applies one import to the shard's
+/// simulation.
+pub type DeliverFn<M> = Box<dyn FnMut(&mut Simulation, Import<M>)>;
+
+/// What a shard factory hands back to the engine: the simulation to
+/// drive, plus the three hooks the epoch loop needs.
+pub struct ShardRun<M, R> {
+    /// The shard's simulation, created on the worker thread.
+    pub sim: Simulation,
+    /// Called at each barrier for every import addressed to this shard,
+    /// in `(time, from, seq)` order. Typical implementations spawn a task
+    /// that sleeps until `import.time` and then applies the message.
+    pub deliver: DeliverFn<M>,
+    /// True once the shard's root work is complete. When every shard
+    /// reports done the run ends at the next barrier (mirroring
+    /// [`Simulation::block_on`], which stops at root completion).
+    pub root_done: Box<dyn Fn() -> bool>,
+    /// Extracts the shard's result after the final epoch.
+    pub finish: Box<dyn FnOnce(Simulation) -> R>,
+}
+
+/// Per-shard state owned by a worker thread.
+struct ShardState<M, R> {
+    handle: ShardHandle<M>,
+    run: Option<ShardRun<M, R>>,
+    /// Imports received but not yet deliverable (arrival beyond the
+    /// current horizon), kept as a min-heap on `(time, from, seq)`.
+    pending: BinaryHeap<std::cmp::Reverse<Import<M>>>,
+}
+
+impl<M, R> ShardState<M, R> {
+    /// Earliest local activity: next simulation event or pending import.
+    fn local_min(&self) -> Option<SimTime> {
+        let sim_next = self.run.as_ref().and_then(|r| r.sim.next_event_time());
+        let imp_next = self.pending.peek().map(|std::cmp::Reverse(i)| i.time);
+        match (sim_next, imp_next) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Deliver every pending import with `time < horizon`, sorted.
+    fn deliver_until(&mut self, horizon: SimTime) {
+        let run = self.run.as_mut().expect("shard already finished");
+        while let Some(std::cmp::Reverse(head)) = self.pending.peek() {
+            if head.time >= horizon {
+                break;
+            }
+            let std::cmp::Reverse(imp) = self.pending.pop().unwrap();
+            (run.deliver)(&mut run.sim, imp);
+        }
+    }
+}
+
+/// Shared cross-worker coordination state for one run.
+struct Exchange<M> {
+    barrier: Barrier,
+    /// `inboxes[s]`: imports addressed to shard `s`, appended at barriers.
+    inboxes: Mutex<Vec<Vec<Import<M>>>>,
+    /// `mins[s]`: shard `s`'s local minimum next-event time (nanos;
+    /// `u64::MAX` = quiescent), refreshed every round.
+    mins: Mutex<Vec<u64>>,
+    /// `done[s]` once shard `s`'s root completed.
+    done: Mutex<Vec<bool>>,
+    /// Set when a worker panicked mid-round; peers drain out at their
+    /// next barrier instead of waiting forever.
+    failed: AtomicBool,
+}
+
+/// The global time floor and termination verdict for one round.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Verdict {
+    /// Run the half-open window ending at this horizon (nanos).
+    Advance(u64),
+    /// Every root completed, or the whole system is quiescent.
+    Stop,
+}
+
+fn compute_verdict(mins: &[u64], done: &[bool], lookahead: SimDuration) -> Verdict {
+    if done.iter().all(|&d| d) {
+        return Verdict::Stop;
+    }
+    let m = mins.iter().copied().min().unwrap_or(u64::MAX);
+    if m == u64::MAX {
+        // Quiescent with roots unfinished: a distributed deadlock. Stop
+        // and let the caller's `finish` hooks observe the blocked state,
+        // exactly as `Simulation::run` leaves blocked tasks pending.
+        return Verdict::Stop;
+    }
+    Verdict::Advance(m.saturating_add(lookahead.as_nanos()))
+}
+
+/// Run a sharded simulation to completion and return every shard's
+/// result, in shard order.
+///
+/// `factories[s]` is invoked on shard `s`'s worker thread with that
+/// shard's [`ShardHandle`]; it builds the shard's [`Simulation`] (which
+/// must be created inside the factory — simulations are pinned to the
+/// thread that creates them) and returns the [`ShardRun`] hooks.
+///
+/// With a single shard the run is executed inline on the calling thread
+/// with no synchronization at all; the event sequence is identical to
+/// `Simulation::block_on` on the same workload.
+///
+/// # Examples
+/// Two logical processes exchanging timestamped ticks across a 10 ms
+/// lookahead edge — the result is independent of worker scheduling:
+/// ```
+/// use mgrid_desim::shard::{run_sharded, ShardPlan, ShardRun};
+/// use mgrid_desim::time::{SimDuration, SimTime};
+/// use mgrid_desim::Simulation;
+/// use std::cell::RefCell;
+/// use std::rc::Rc;
+///
+/// let plan = ShardPlan::connected(2, SimDuration::from_millis(10));
+/// let out = run_sharded(plan, (0..2).map(|s| {
+///     Box::new(move |h: mgrid_desim::shard::ShardHandle<u64>| {
+///         let sim = Simulation::new(1);
+///         let seen = Rc::new(RefCell::new(Vec::new()));
+///         let root = sim.spawn({
+///             let h = h.clone();
+///             async move {
+///                 // Tell the peer at t=0; it hears us 10 ms later.
+///                 h.export(1 - s, SimTime::from_nanos(10_000_000), s as u64);
+///             }
+///         });
+///         let seen2 = seen.clone();
+///         let seen3 = seen.clone();
+///         ShardRun {
+///             sim,
+///             deliver: Box::new(move |sim, imp| {
+///                 let seen = seen2.clone();
+///                 sim.spawn(async move {
+///                     mgrid_desim::sleep_until(imp.time).await;
+///                     seen.borrow_mut().push(imp.msg);
+///                 });
+///             }),
+///             // Done once we sent our tick *and* heard the peer's.
+///             root_done: Box::new(move || {
+///                 root.is_finished() && !seen3.borrow().is_empty()
+///             }),
+///             finish: Box::new(move |_sim| seen.borrow().clone()),
+///         }
+///     }) as Box<dyn FnOnce(_) -> _ + Send>
+/// }).collect());
+/// assert_eq!(out, vec![vec![1u64], vec![0]]);
+/// ```
+pub fn run_sharded<M, R, F>(plan: ShardPlan, factories: Vec<F>) -> Vec<R>
+where
+    M: Send + 'static,
+    R: Send + 'static,
+    F: FnOnce(ShardHandle<M>) -> ShardRun<M, R> + Send + 'static,
+{
+    assert_eq!(
+        factories.len(),
+        plan.shards,
+        "one factory per shard required"
+    );
+    if plan.shards == 1 {
+        // Inline sequential path: byte-identical to Simulation::block_on.
+        let handle = ShardHandle::new(0, &plan);
+        let factory = factories.into_iter().next().unwrap();
+        let mut run = factory(handle);
+        let done = run.root_done;
+        run.sim.run_until_or(SimTime::MAX, &*done);
+        return vec![(run.finish)(run.sim)];
+    }
+
+    let workers = plan
+        .shards
+        .min(plan.max_workers)
+        .min(default_workers().max(1));
+    let lookahead = plan.lookahead.unwrap_or(SimDuration::MAX);
+    let exchange = Arc::new(Exchange::<M> {
+        barrier: Barrier::new(workers),
+        inboxes: Mutex::new((0..plan.shards).map(|_| Vec::new()).collect()),
+        mins: Mutex::new(vec![u64::MAX; plan.shards]),
+        done: Mutex::new(vec![false; plan.shards]),
+        failed: AtomicBool::new(false),
+    });
+
+    // Hand each worker its statically-assigned factories (shard s runs
+    // on worker s % workers, forever — simulations cannot migrate).
+    let mut per_worker: Vec<Vec<(usize, F)>> = (0..workers).map(|_| Vec::new()).collect();
+    for (s, f) in factories.into_iter().enumerate() {
+        per_worker[s % workers].push((s, f));
+    }
+
+    let results = Arc::new(Mutex::new(
+        (0..plan.shards).map(|_| None).collect::<Vec<_>>(),
+    ));
+    std::thread::scope(|scope| {
+        for assigned in per_worker {
+            let exchange = Arc::clone(&exchange);
+            let results = Arc::clone(&results);
+            let plan = plan.clone();
+            scope.spawn(move || {
+                // The epoch rounds run under catch_unwind so a panicking
+                // worker can release its peers: at the instant any worker
+                // panics, every worker has completed the same number of
+                // barrier waits (the barrier itself enforces this), so
+                // the panicked worker contributes exactly one more wait,
+                // after which every peer observes `failed` and drains
+                // out instead of blocking forever.
+                let rounds = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    worker_rounds(assigned, &plan, lookahead, &exchange)
+                }));
+                match rounds {
+                    Ok(None) => {} // a peer failed; its panic propagates
+                    Ok(Some(shards)) => {
+                        let mut results = results.lock().expect("worker panicked");
+                        for (s, mut st) in shards {
+                            let run = st.run.take().expect("shard already finished");
+                            results[s] = Some((run.finish)(run.sim));
+                        }
+                    }
+                    Err(p) => {
+                        exchange.failed.store(true, Ordering::SeqCst);
+                        exchange.barrier.wait();
+                        std::panic::resume_unwind(p);
+                    }
+                }
+            });
+        }
+    });
+    let mut results = results.lock().expect("worker panicked");
+    results
+        .iter_mut()
+        .map(|r| r.take().expect("shard produced no result"))
+        .collect()
+}
+
+/// Run the barrier-epoch rounds for one worker's shards. Returns the
+/// shard states for finishing, or `None` if a peer worker failed.
+fn worker_rounds<M, R, F>(
+    assigned: Vec<(usize, F)>,
+    plan: &ShardPlan,
+    lookahead: SimDuration,
+    exchange: &Exchange<M>,
+) -> Option<Vec<(usize, ShardState<M, R>)>>
+where
+    M: Send + 'static,
+    R: Send + 'static,
+    F: FnOnce(ShardHandle<M>) -> ShardRun<M, R> + Send + 'static,
+{
+    // Build this worker's shards locally (pinning their simulations to
+    // this thread), in ascending shard order.
+    let mut shards: Vec<(usize, ShardState<M, R>)> = assigned
+        .into_iter()
+        .map(|(s, f)| {
+            let handle = ShardHandle::new(s, plan);
+            let run = f(handle.clone());
+            (
+                s,
+                ShardState {
+                    handle,
+                    run: Some(run),
+                    pending: BinaryHeap::new(),
+                },
+            )
+        })
+        .collect();
+
+    loop {
+        // Phase A: publish exports produced by the previous window.
+        {
+            let mut inboxes = exchange.inboxes.lock().expect("peer worker panicked");
+            for (_, st) in &mut shards {
+                for export in st.handle.drain() {
+                    inboxes[export.to].push(export.import);
+                }
+            }
+        }
+        exchange.barrier.wait();
+        if exchange.failed.load(Ordering::SeqCst) {
+            return None;
+        }
+
+        // Phase B: absorb imports, report local minima and completion.
+        {
+            let mut inboxes = exchange.inboxes.lock().expect("peer worker panicked");
+            for (s, st) in &mut shards {
+                for imp in inboxes[*s].drain(..) {
+                    st.pending.push(std::cmp::Reverse(imp));
+                }
+            }
+        }
+        {
+            let mut mins = exchange.mins.lock().expect("peer worker panicked");
+            let mut done = exchange.done.lock().expect("peer worker panicked");
+            for (s, st) in &shards {
+                mins[*s] = st.local_min().map_or(u64::MAX, SimTime::as_nanos);
+                done[*s] = st.run.as_ref().is_none_or(|r| (r.root_done)());
+            }
+        }
+        exchange.barrier.wait();
+        if exchange.failed.load(Ordering::SeqCst) {
+            return None;
+        }
+
+        // Phase C: everyone derives the same verdict from the same data
+        // (no worker can reach next round's Phase B writes before all
+        // have passed the Phase B barrier above, so the reads are
+        // race-free and every worker agrees).
+        let verdict = {
+            let mins = exchange.mins.lock().expect("peer worker panicked");
+            let done = exchange.done.lock().expect("peer worker panicked");
+            compute_verdict(&mins, &done, lookahead)
+        };
+        match verdict {
+            Verdict::Stop => {
+                // Final barrier: keeps the wait count uniform so a worker
+                // that panicked this round can still drain everyone.
+                exchange.barrier.wait();
+                break;
+            }
+            Verdict::Advance(horizon_ns) => {
+                // Execute the half-open window [*, horizon): deliver the
+                // now-safe imports, then run strictly below the horizon.
+                let horizon = SimTime::from_nanos(horizon_ns);
+                let run_to = SimTime::from_nanos(horizon_ns.saturating_sub(1));
+                for (_, st) in &mut shards {
+                    st.deliver_until(horizon);
+                    let run = st.run.as_mut().expect("shard already finished");
+                    run.sim.run_until(run_to);
+                }
+            }
+        }
+    }
+
+    Some(shards)
+}
+
+/// Run independent jobs on the sharded engine's worker pool and return
+/// their results in submission order.
+///
+/// This is [`run_sharded`] with the degenerate edge-free plan: each job
+/// is a logical process with no mailboxes, so every job runs to
+/// completion in one epoch. Jobs are claimed dynamically for load
+/// balance; since they are mutually independent and individually
+/// deterministic, placement cannot affect any result.
+///
+/// `workers <= 1` runs every job inline on the calling thread, in order
+/// — byte-identical to a plain sequential loop.
+pub fn run_jobs<R, F>(workers: usize, jobs: Vec<F>) -> Vec<R>
+where
+    R: Send + 'static,
+    F: FnOnce() -> R + Send + 'static,
+{
+    if workers <= 1 || jobs.len() <= 1 {
+        return jobs.into_iter().map(|j| j()).collect();
+    }
+    let n = jobs.len();
+    let workers = workers.min(n);
+    let jobs: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let job = jobs[i]
+                    .lock()
+                    .expect("job poisoned")
+                    .take()
+                    .expect("job claimed twice");
+                *results[i].lock().expect("result poisoned") = Some(job());
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| {
+            r.into_inner()
+                .expect("worker panicked")
+                .expect("job produced no result")
+        })
+        .collect()
+}
+
+/// The machine's available parallelism (1 if it cannot be determined).
+/// Callers that honour `MGRID_SHARDS` clamp to this.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sleep_until;
+
+    /// A ping-pong workload: `shards` LPs arranged in a ring, each
+    /// forwarding a counter to its right neighbour with 5 ms latency
+    /// until the counter reaches `rounds`. Returns, per shard, the list
+    /// of (arrival_ns, value) pairs it observed.
+    fn ring(shards: usize, rounds: u64) -> Vec<Vec<(u64, u64)>> {
+        let la = SimDuration::from_millis(5);
+        let plan = ShardPlan::connected(shards, la);
+        let factories: Vec<_> = (0..shards)
+            .map(|_| {
+                Box::new(move |h: ShardHandle<u64>| {
+                    let sim = Simulation::new(9);
+                    let log: Rc<RefCell<Vec<(u64, u64)>>> = Rc::new(RefCell::new(Vec::new()));
+                    let done = Rc::new(Cell::new(false));
+                    // Shard 0 kicks the ring off.
+                    let root = sim.spawn({
+                        let h = h.clone();
+                        async move {
+                            if h.shard_id() == 0 && rounds > 0 {
+                                h.export(1 % h.shards(), crate::executor::now() + la, 0);
+                            }
+                        }
+                    });
+                    let deliver_log = log.clone();
+                    let done2 = done.clone();
+                    let finish_log = log.clone();
+                    ShardRun {
+                        sim,
+                        deliver: Box::new(move |sim, imp: Import<u64>| {
+                            let h = h.clone();
+                            let log = deliver_log.clone();
+                            let done = done2.clone();
+                            sim.spawn(async move {
+                                sleep_until(imp.time).await;
+                                log.borrow_mut().push((imp.time.as_nanos(), imp.msg));
+                                let next = imp.msg + 1;
+                                if next < rounds {
+                                    let to = (h.shard_id() + 1) % h.shards();
+                                    h.export(to, crate::executor::now() + la, next);
+                                } else {
+                                    done.set(true);
+                                }
+                            });
+                        }),
+                        root_done: Box::new(move || {
+                            // The ring terminates when the last hop landed
+                            // anywhere; each shard is "done" once its own
+                            // root ran and no message of its is pending.
+                            root.is_finished() && done.get()
+                        }),
+                        finish: Box::new(move |_| finish_log.borrow().clone()),
+                    }
+                })
+                    as Box<dyn FnOnce(ShardHandle<u64>) -> ShardRun<u64, Vec<(u64, u64)>> + Send>
+            })
+            .collect();
+        run_sharded(plan, factories)
+    }
+
+    #[test]
+    fn two_shard_ring_is_deterministic() {
+        let a = ring(2, 6);
+        let b = ring(2, 6);
+        assert_eq!(a, b);
+        // 6 hops at 5 ms each, alternating shards.
+        let all: Vec<_> = {
+            let mut v: Vec<_> = a.iter().flatten().copied().collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(all.len(), 6);
+        assert_eq!(all[0], (5_000_000, 0));
+        assert_eq!(all[5], (30_000_000, 5));
+    }
+
+    #[test]
+    fn shard_counts_agree_on_the_merged_event_log() {
+        // The merged (time, value) log must be identical for 2, 3, and 4
+        // shards — the engine's core guarantee.
+        let merged = |shards: usize| -> Vec<(u64, u64)> {
+            let mut v: Vec<_> = ring(shards, 12).iter().flatten().copied().collect();
+            v.sort_unstable();
+            v
+        };
+        let two = merged(2);
+        assert_eq!(two, merged(3));
+        assert_eq!(two, merged(4));
+    }
+
+    #[test]
+    fn single_shard_runs_inline_without_threads() {
+        let plan = ShardPlan::connected(1, SimDuration::from_millis(1));
+        let tid = std::thread::current().id();
+        let out = run_sharded::<(), _, _>(
+            plan,
+            vec![Box::new(move |_h: ShardHandle<()>| {
+                assert_eq!(std::thread::current().id(), tid);
+                let sim = Simulation::new(3);
+                let root = sim.spawn(async {
+                    crate::sleep(SimDuration::from_millis(2)).await;
+                });
+                ShardRun {
+                    sim,
+                    deliver: Box::new(|_, _| unreachable!("no peers")),
+                    root_done: Box::new(move || root.is_finished()),
+                    finish: Box::new(|sim| sim.now().as_millis()),
+                }
+            })
+                as Box<
+                    dyn FnOnce(ShardHandle<()>) -> ShardRun<(), u64> + Send,
+                >],
+        );
+        assert_eq!(out, vec![2]);
+    }
+
+    #[test]
+    fn lookahead_violation_panics() {
+        let plan = ShardPlan::connected(2, SimDuration::from_millis(50));
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_sharded::<u8, _, _>(
+                plan,
+                (0..2)
+                    .map(|s| {
+                        Box::new(move |h: ShardHandle<u8>| {
+                            let sim = Simulation::new(1);
+                            let root = sim.spawn({
+                                let h = h.clone();
+                                async move {
+                                    if s == 0 {
+                                        // Arrives in 1 ms — inside the 50 ms
+                                        // lookahead: must panic.
+                                        h.export(1, SimTime::from_nanos(1_000_000), 1);
+                                    }
+                                }
+                            });
+                            ShardRun {
+                                sim,
+                                deliver: Box::new(|_, _| {}),
+                                root_done: Box::new(move || root.is_finished()),
+                                finish: Box::new(|_| ()),
+                            }
+                        })
+                            as Box<dyn FnOnce(ShardHandle<u8>) -> ShardRun<u8, ()> + Send>
+                    })
+                    .collect(),
+            )
+        }));
+        assert!(caught.is_err(), "lookahead violation must panic");
+    }
+
+    #[test]
+    fn run_jobs_preserves_submission_order() {
+        let jobs: Vec<_> = (0..17)
+            .map(|i| Box::new(move || i * i) as Box<dyn FnOnce() -> i32 + Send>)
+            .collect();
+        let serial: Vec<_> = (0..17).map(|i| i * i).collect();
+        assert_eq!(run_jobs(1, jobs), serial);
+        let jobs: Vec<_> = (0..17)
+            .map(|i| Box::new(move || i * i) as Box<dyn FnOnce() -> i32 + Send>)
+            .collect();
+        assert_eq!(run_jobs(4, jobs), serial);
+    }
+}

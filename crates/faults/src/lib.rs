@@ -285,6 +285,48 @@ impl FaultPlan {
         evs.sort_by_key(|e| e.at);
         evs
     }
+
+    /// Round every event time **up** to the next multiple of `epoch`,
+    /// for sharded runs (see `docs/PARALLEL.md`).
+    ///
+    /// Under the sharded engine each logical process carries a full
+    /// replica of the plan and injects it locally. Aligning injection
+    /// times to the conservative barrier epochs guarantees a fault never
+    /// lands inside an epoch window some shard has already committed:
+    /// every replica observes the state change at the same barrier, so
+    /// the sharded timeline matches the sequential one event for event.
+    /// Events already on a boundary (including `at == 0`) are unchanged;
+    /// relative order within the plan is preserved because rounding up
+    /// is monotone.
+    ///
+    /// ```
+    /// use mgrid_desim::time::SimDuration;
+    /// use mgrid_faults::{FaultKind, FaultPlan};
+    ///
+    /// let plan = FaultPlan::new().at(
+    ///     SimDuration::from_millis(7),
+    ///     FaultKind::HostCrash { host: "n0".into() },
+    /// );
+    /// let aligned = plan.align_to_epochs(SimDuration::from_millis(5));
+    /// assert_eq!(aligned.events[0].at, SimDuration::from_millis(10));
+    /// ```
+    #[must_use]
+    pub fn align_to_epochs(&self, epoch: SimDuration) -> FaultPlan {
+        let step = epoch.as_nanos().max(1);
+        let events = self
+            .events
+            .iter()
+            .map(|ev| {
+                let ns = ev.at.as_nanos();
+                let aligned = ns.div_ceil(step) * step;
+                FaultEvent {
+                    at: SimDuration::from_nanos(aligned),
+                    kind: ev.kind.clone(),
+                }
+            })
+            .collect();
+        FaultPlan { events }
+    }
 }
 
 type Subscriber = Box<dyn Fn(&FaultKind)>;
@@ -464,6 +506,25 @@ mod tests {
             now()
         });
         assert_eq!(t, SimTime::ZERO + SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn epoch_alignment_rounds_up_and_keeps_order() {
+        let ms = SimDuration::from_millis;
+        let plan = FaultPlan::new()
+            .at(ms(0), down("a", "b"))
+            .at(ms(7), down("c", "d"))
+            .at(ms(10), down("e", "f"))
+            .at(ms(11), FaultKind::HostCrash { host: "h".into() });
+        let aligned = plan.align_to_epochs(ms(5));
+        let ats: Vec<_> = aligned.events.iter().map(|e| e.at).collect();
+        assert_eq!(ats, vec![ms(0), ms(10), ms(10), ms(15)]);
+        // Kinds travel with their events.
+        assert_eq!(aligned.events[3].kind.name(), "host_crash");
+        // Idempotent: aligning twice changes nothing.
+        assert_eq!(aligned.align_to_epochs(ms(5)), aligned);
+        // A zero epoch is inert rather than a division by zero.
+        assert_eq!(plan.align_to_epochs(SimDuration::from_nanos(0)), plan);
     }
 
     #[test]

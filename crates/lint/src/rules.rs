@@ -42,8 +42,9 @@ struct Suppression {
     has_reason: bool,
 }
 
-/// Analyze one file's source. `crate_name` selects which rules apply per
-/// the config; `path` is only echoed into findings.
+/// Analyze one file's source. `crate_name` and `path` select which rules
+/// apply per the config (per-file sections beat per-crate ones); `path`
+/// is also echoed into findings.
 pub fn lint_source(path: &str, crate_name: &str, src: &str, config: &Config) -> Vec<Finding> {
     let lexed = lex(src);
     let nlines = src.lines().count() as u32 + 1;
@@ -88,7 +89,7 @@ pub fn lint_source(path: &str, crate_name: &str, src: &str, config: &Config) -> 
         }
     }
 
-    let enabled = |code: &str| config.code_enabled(crate_name, code);
+    let enabled = |code: &str| config.code_enabled_at(crate_name, path, code);
     let toks = &lexed.tokens;
     let n = toks.len();
     let mut i = 0usize;

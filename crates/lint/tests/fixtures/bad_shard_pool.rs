@@ -1,0 +1,8 @@
+//! A thread pool in a sim crate with no per-file allowance: every use of
+//! OS threading below is an MG005 finding.
+use std::sync::Mutex;
+
+fn pool() {
+    let state = Mutex::new(0u32);
+    std::thread::spawn(move || drop(state));
+}

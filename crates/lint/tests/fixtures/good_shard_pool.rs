@@ -1,0 +1,10 @@
+//! The same thread pool as `bad_shard_pool.rs`, but this path carries a
+//! `[lint.files."good_shard_pool.rs"] allow = ["MG005"]` config section
+//! in the engine tests — the vetted-module escape hatch the real
+//! workspace uses for `crates/desim/src/shard.rs`.
+use std::sync::Mutex;
+
+fn pool() {
+    let state = Mutex::new(0u32);
+    std::thread::spawn(move || drop(state));
+}

@@ -216,7 +216,11 @@ impl Gatekeeper {
     }
 }
 
-async fn run_jobmanager(gk: ProcessCtx, registry: ExecutableRegistry, req: Rc<JobRequest>) {
+async fn run_jobmanager(
+    gk: ProcessCtx,
+    registry: ExecutableRegistry,
+    req: std::sync::Arc<JobRequest>,
+) {
     let status = jobmanager_body(&gk, &registry, &req).await;
     // Report completion to the client.
     let reply_sock = gk.bind(ephemeral_port(&gk));

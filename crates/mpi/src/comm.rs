@@ -601,7 +601,7 @@ impl Comm {
         combine: F,
     ) -> Result<Option<T>, SockError>
     where
-        T: Clone + 'static,
+        T: Clone + Send + Sync + 'static,
         F: Fn(&T, &T) -> T,
     {
         self.timed("reduce", self.reduce_impl(root, value, bytes, combine))
@@ -616,7 +616,7 @@ impl Comm {
         combine: F,
     ) -> Result<Option<T>, SockError>
     where
-        T: Clone + 'static,
+        T: Clone + Send + Sync + 'static,
         F: Fn(&T, &T) -> T,
     {
         let n = self.size();
@@ -653,7 +653,7 @@ impl Comm {
     /// and bcast phases are not double-counted).
     pub async fn allreduce<T, F>(&self, value: T, bytes: u64, combine: F) -> Result<T, SockError>
     where
-        T: Clone + 'static,
+        T: Clone + Send + Sync + 'static,
         F: Fn(&T, &T) -> T,
     {
         self.timed("allreduce", async {
@@ -672,7 +672,7 @@ impl Comm {
 
     /// Gather one value per rank at `root`. Returns `Some(values)` (rank
     /// order) on the root, `None` elsewhere.
-    pub async fn gather<T: Clone + 'static>(
+    pub async fn gather<T: Clone + Send + Sync + 'static>(
         &self,
         root: usize,
         value: T,
@@ -682,7 +682,7 @@ impl Comm {
             .await
     }
 
-    async fn gather_impl<T: Clone + 'static>(
+    async fn gather_impl<T: Clone + Send + Sync + 'static>(
         &self,
         root: usize,
         value: T,
@@ -717,14 +717,14 @@ impl Comm {
 
     /// All-to-all personalized exchange: `chunks[d]` goes to rank `d`.
     /// Returns the chunks received, indexed by source rank.
-    pub async fn alltoall<T: Clone + 'static>(
+    pub async fn alltoall<T: Clone + Send + Sync + 'static>(
         &self,
         chunks: Vec<(T, u64)>,
     ) -> Result<Vec<T>, SockError> {
         self.timed("alltoall", self.alltoall_impl(chunks)).await
     }
 
-    async fn alltoall_impl<T: Clone + 'static>(
+    async fn alltoall_impl<T: Clone + Send + Sync + 'static>(
         &self,
         chunks: Vec<(T, u64)>,
     ) -> Result<Vec<T>, SockError> {

@@ -1,6 +1,6 @@
 //! MPI wire protocol: envelopes, tags, and the eager/rendezvous split.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use mgrid_netsim::Payload;
 
@@ -31,8 +31,10 @@ impl MpiData {
         }
     }
 
-    /// A typed message; `bytes` is the logical size of `value`.
-    pub fn typed<T: 'static>(bytes: u64, value: T) -> Self {
+    /// A typed message; `bytes` is the logical size of `value`. The
+    /// payload must be `Send + Sync` so messages can cross shard
+    /// boundaries in sharded runs.
+    pub fn typed<T: Send + Sync + 'static>(bytes: u64, value: T) -> Self {
         MpiData {
             bytes,
             payload: Payload::new(value),
@@ -40,7 +42,7 @@ impl MpiData {
     }
 
     /// Downcast the payload.
-    pub fn downcast<T: 'static>(&self) -> Option<Rc<T>> {
+    pub fn downcast<T: Send + Sync + 'static>(&self) -> Option<Arc<T>> {
         self.payload.downcast()
     }
 }

@@ -19,6 +19,54 @@ use crate::comm::{Comm, MpiParams};
 /// lost to startup races. Returns the bodies' outputs in rank order; every
 /// rank's process is terminated afterwards.
 ///
+/// # Examples
+///
+/// A two-host world over one switched link, each rank reporting its
+/// identity (higher layers wire this up from a config — see
+/// `microgrid::VirtualGrid::mpirun`):
+///
+/// ```
+/// use mgrid_desim::vclock::VirtualClock;
+/// use mgrid_desim::{SimRng, Simulation};
+/// use mgrid_hostsim::{OsParams, PhysicalHost, PhysicalHostSpec, SchedulerParams};
+/// use mgrid_middleware::HostTable;
+/// use mgrid_mpi::{mpirun, MpiParams};
+/// use mgrid_netsim::{LinkSpec, NetParams, Network, TopologyBuilder};
+///
+/// let mut sim = Simulation::new(7);
+/// let out = sim.block_on(async {
+///     let mut b = TopologyBuilder::new();
+///     let sw = b.router("switch");
+///     let hosts = ["n0.grid", "n1.grid"];
+///     let nodes: Vec<_> = hosts
+///         .iter()
+///         .map(|name| {
+///             let n = b.host(*name);
+///             b.link(n, sw, LinkSpec::fast_ethernet());
+///             n
+///         })
+///         .collect();
+///     let clock = VirtualClock::identity();
+///     let net = Network::new(b.build(), clock.clone(), NetParams::default());
+///     let table = HostTable::new();
+///     for (i, (name, node)) in hosts.iter().zip(&nodes).enumerate() {
+///         let ph = PhysicalHost::new(
+///             PhysicalHostSpec::new(format!("phys{i}"), 533.0, 1 << 30),
+///             OsParams::default(),
+///             SchedulerParams::default(),
+///             SimRng::new(100 + i as u64),
+///         );
+///         table.register(*name, *node, ph.as_direct_virtual());
+///     }
+///     let hosts: Vec<String> = hosts.iter().map(|h| h.to_string()).collect();
+///     mpirun(&table, &net, &clock, &hosts, MpiParams::default(), |comm| async move {
+///         (comm.rank(), comm.size())
+///     })
+///     .await
+/// });
+/// assert_eq!(out, vec![(0, 2), (1, 2)]);
+/// ```
+///
 /// # Panics
 /// Panics if a host is unknown or a process cannot be started (memory).
 pub async fn mpirun<T, F, Fut>(

@@ -1,44 +1,69 @@
 //! Packets: the unit of traffic in the online network simulator.
 
 use std::any::Any;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::topology::NodeId;
 
 /// Unique identifier of a reliable transfer (one message in flight).
+///
+/// The top [`TransferId::SHARD_BITS`] bits namespace the id by the shard
+/// that initiated the transfer, so concurrent shards of one sharded run
+/// can never collide at a shared receiver. Shard 0 — and therefore every
+/// unsharded run — uses the plain sequential ids it always did.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub struct TransferId(pub u64);
 
+impl TransferId {
+    /// Number of high bits reserved for the originating shard.
+    pub const SHARD_BITS: u32 = 16;
+
+    /// The first id of shard `shard`'s namespace.
+    pub fn namespace_base(shard: u64) -> u64 {
+        assert!(
+            shard < (1 << Self::SHARD_BITS),
+            "shard id {shard} exceeds the {} -bit transfer namespace",
+            Self::SHARD_BITS
+        );
+        shard << (64 - Self::SHARD_BITS)
+    }
+}
+
 /// Opaque application payload carried by the final data packet of a
 /// transfer (zero-copy: the simulator moves a reference, not bytes).
+///
+/// Payloads are `Arc`-backed and `Send + Sync` so a packet can cross a
+/// shard boundary through the sharded engine's mailboxes
+/// (`mgrid_desim::shard`); within one simulation the clone is still just
+/// a refcount bump.
 #[derive(Clone)]
-pub struct Payload(pub Rc<dyn Any>);
+pub struct Payload(pub Arc<dyn Any + Send + Sync>);
 
 impl Payload {
     /// Wrap a value.
-    pub fn new<T: Any>(value: T) -> Self {
-        Payload(Rc::new(value))
+    pub fn new<T: Any + Send + Sync>(value: T) -> Self {
+        Payload(Arc::new(value))
     }
 
     /// An empty payload (pure byte-count traffic).
     pub fn empty() -> Self {
-        Payload(Rc::new(()))
+        Payload(Arc::new(()))
     }
 
     /// Downcast to the concrete payload type, sharing ownership.
     ///
-    /// The type check runs *before* the `Rc` is cloned, so a mismatch
+    /// The type check runs *before* the `Arc` is cloned, so a mismatch
     /// costs no refcount traffic. For read-only access prefer
     /// [`Payload::downcast_ref`], which never touches the refcount.
-    pub fn downcast<T: Any>(&self) -> Option<Rc<T>> {
+    pub fn downcast<T: Any + Send + Sync>(&self) -> Option<Arc<T>> {
         if self.0.is::<T>() {
-            Rc::clone(&self.0).downcast::<T>().ok()
+            Arc::clone(&self.0).downcast::<T>().ok()
         } else {
             None
         }
     }
 
-    /// Borrow the concrete payload without cloning the `Rc`.
+    /// Borrow the concrete payload without cloning the `Arc`.
     ///
     /// This is the allocation- and refcount-free path for per-packet
     /// inspection on the hot receive path.
@@ -94,6 +119,9 @@ pub enum PacketKind {
 }
 
 /// A packet traversing the simulated network.
+///
+/// `Packet` is `Send` (its payload is `Arc`-backed): the sharded engine
+/// moves whole packets between logical processes at epoch barriers.
 #[derive(Clone, Debug)]
 pub struct Packet {
     /// Originating host.
@@ -121,19 +149,38 @@ mod tests {
     #[test]
     fn payload_downcast_ref_is_refcount_free() {
         let p = Payload::new(String::from("zero-copy"));
-        let before = Rc::strong_count(&p.0);
+        let before = Arc::strong_count(&p.0);
         assert_eq!(p.downcast_ref::<String>().unwrap(), "zero-copy");
         assert!(p.downcast_ref::<Vec<u8>>().is_none());
-        assert_eq!(Rc::strong_count(&p.0), before);
+        assert_eq!(Arc::strong_count(&p.0), before);
     }
 
     #[test]
     fn payload_clone_shares() {
         let p = Payload::new(String::from("shared"));
         let q = p.clone();
-        assert!(Rc::ptr_eq(
+        assert!(Arc::ptr_eq(
             &p.downcast::<String>().unwrap(),
             &q.downcast::<String>().unwrap()
         ));
+    }
+
+    #[test]
+    fn packets_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Packet>();
+        assert_send::<Payload>();
+    }
+
+    #[test]
+    fn transfer_namespaces_do_not_overlap() {
+        let base1 = TransferId::namespace_base(1);
+        let base2 = TransferId::namespace_base(2);
+        assert_eq!(TransferId::namespace_base(0), 0);
+        assert!(base1 > (u64::MAX / 2) >> TransferId::SHARD_BITS);
+        assert_ne!(base1, base2);
+        // A full shard-0 sequence can never reach shard 1's namespace in
+        // any plausible run.
+        assert!(base1 > 1 << 40);
     }
 }

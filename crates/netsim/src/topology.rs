@@ -276,6 +276,42 @@ impl Topology {
             .map(|l| self.links[l.0].spec.bandwidth_bps)
             .min_by(|a, b| a.partial_cmp(b).unwrap())
     }
+
+    /// Minimum propagation delay over links whose endpoints fall in
+    /// different groups of `group` — the conservative lookahead of a
+    /// sharded run cut along those links (`None` if no link is cut).
+    ///
+    /// Any cross-shard packet spends at least this long in flight, so a
+    /// shard that has processed everything up to time `t` cannot receive
+    /// an import earlier than `t + lookahead`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mgrid_netsim::topology::{LinkSpec, TopologyBuilder};
+    /// use mgrid_desim::time::SimDuration;
+    ///
+    /// let mut b = TopologyBuilder::new();
+    /// let a = b.host("a");
+    /// let c = b.host("c");
+    /// let d = b.host("d");
+    /// b.link(a, c, LinkSpec::new(1e8, SimDuration::from_micros(50)));
+    /// b.link(c, d, LinkSpec::new(1e7, SimDuration::from_millis(20)));
+    /// let t = b.build();
+    ///
+    /// // Cut between {a, c} and {d}: only the WAN link crosses.
+    /// let la = t.min_cut_latency(|n| usize::from(n == d));
+    /// assert_eq!(la, Some(SimDuration::from_millis(20)));
+    /// // Everything in one group: nothing is cut.
+    /// assert_eq!(t.min_cut_latency(|_| 0), None);
+    /// ```
+    pub fn min_cut_latency(&self, group: impl Fn(NodeId) -> usize) -> Option<SimDuration> {
+        self.links
+            .iter()
+            .filter(|l| group(l.from) != group(l.to))
+            .map(|l| l.spec.delay)
+            .min()
+    }
 }
 
 #[cfg(test)]

@@ -184,3 +184,74 @@ fn same_seed_runs_are_byte_identical() {
     let other = metrics_digest(43);
     assert_ne!(first, other, "seed does not reach the metrics");
 }
+
+/// Sharded-engine backstop for the figure pipeline: the same set of
+/// independent scenarios run (a) inline on this thread, (b) through the
+/// job pool with one worker, and (c) through the job pool with four
+/// workers must produce byte-identical serialized results and metrics,
+/// in submission order. This is the property `MGRID_SHARDS` relies on
+/// (docs/PARALLEL.md): shard count moves only the wall clock, never a
+/// byte of output.
+#[test]
+fn sharded_job_pool_is_byte_identical_to_sequential() {
+    use microgrid::apps::npb::{self, NpbBenchmark, NpbClass, NpbResult};
+    use microgrid::desim::shard::run_jobs;
+    use microgrid::mpi::MpiParams;
+    use microgrid::{presets, VirtualGrid};
+    use std::future::Future;
+    use std::pin::Pin;
+
+    fn scenario(seed: u64, bench: NpbBenchmark) -> String {
+        let mut sim = Simulation::new(seed);
+        let results = sim.block_on(async move {
+            let mut config = presets::alpha_cluster();
+            config.seed = seed;
+            let grid = VirtualGrid::build(config).expect("build");
+            grid.mpirun_all(MpiParams::default(), move |comm| {
+                Box::pin(npb::run(bench, comm, NpbClass::S, None))
+                    as Pin<Box<dyn Future<Output = NpbResult>>>
+            })
+            .await
+        });
+        let snapshot = sim.obs().metrics().snapshot();
+        assert!(!snapshot.is_empty(), "scenario recorded no metrics");
+        format!(
+            "{results:?}|{}",
+            serde_json::to_string(&snapshot).expect("snapshot serializes")
+        )
+    }
+
+    const CASES: [(u64, NpbBenchmark); 6] = [
+        (7, NpbBenchmark::IS),
+        (7, NpbBenchmark::EP),
+        (11, NpbBenchmark::MG),
+        (13, NpbBenchmark::IS),
+        (17, NpbBenchmark::EP),
+        (19, NpbBenchmark::MG),
+    ];
+
+    let jobs = || -> Vec<Box<dyn FnOnce() -> String + Send>> {
+        CASES
+            .iter()
+            .map(|&(seed, bench)| {
+                Box::new(move || scenario(seed, bench)) as Box<dyn FnOnce() -> String + Send>
+            })
+            .collect()
+    };
+
+    let inline: Vec<String> = CASES.iter().map(|&(s, b)| scenario(s, b)).collect();
+    let one_worker = run_jobs(1, jobs());
+    let four_workers = run_jobs(4, jobs());
+
+    assert_eq!(inline, one_worker, "one-worker pool diverged from inline");
+    assert_eq!(
+        inline, four_workers,
+        "four-worker pool diverged from inline"
+    );
+
+    // Sensitivity check: every scenario digest is distinct, so the
+    // equalities above compare real per-scenario output, not a shared
+    // constant.
+    let distinct: std::collections::BTreeSet<&String> = inline.iter().collect();
+    assert_eq!(distinct.len(), CASES.len(), "scenario digests collide");
+}
