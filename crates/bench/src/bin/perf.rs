@@ -4,6 +4,8 @@
 //! perf                          # measure, print a summary table
 //! perf --out BENCH_core.json    # also write/update the tracked JSON
 //! perf --set-baseline           # rewrite the baseline to this run
+//! perf --check                  # nonzero exit on regression gates
+//! perf --check-file FILE        # validate an existing JSON, no benches
 //! MGRID_FAST=1 perf             # shrunken figure sweep (smoke only)
 //! ```
 //!
@@ -58,6 +60,23 @@ struct ParMeasurements {
     /// `available_parallelism()` on the recording machine; the speedups
     /// below are bounded by it (a 1-core runner records ~1.0x).
     machine_parallelism: usize,
+    /// `Some(true)` when the recording machine had no parallelism to
+    /// offer (`machine_parallelism == 1`): the speedups below say
+    /// nothing about the engine and are exempt from `--check` gating.
+    /// (`Option` so files written before this field existed still
+    /// parse — the vendored serde decodes missing fields as `None`.)
+    advisory: Option<bool>,
+    /// Barrier rounds per wall second of the event-driven epoch engine
+    /// (2-shard ping-pong microbench: every round carries one hop, so
+    /// this is the all-reduce + exchange round-trip rate).
+    epochs_per_sec: Option<f64>,
+    /// Mean wall nanoseconds per barrier round of the same microbench —
+    /// the fixed synchronization cost an epoch must amortize.
+    epoch_overhead_ns: Option<f64>,
+    /// Independent scenarios each sharded figure fanned out
+    /// (`run_scenarios` submissions): the available within-figure
+    /// parallelism behind each `par_speedup` entry.
+    par_scenarios: Option<BTreeMap<String, usize>>,
     /// Wall milliseconds per sharded figure at `par_shards`.
     par_figures_ms: BTreeMap<String, f64>,
     /// Per-figure serial ms / sharded ms.
@@ -243,6 +262,61 @@ fn measure() -> Measurements {
 /// the ones `run_scenarios` fans out under `MGRID_SHARDS`.
 const PAR_FIGS: [&str; 3] = ["fig10", "fig12", "fig17"];
 
+/// Time the event-driven epoch engine itself: a 2-shard ping-pong where
+/// every barrier round carries exactly one cross-shard hop, so wall time
+/// divided by rounds is the per-epoch synchronization cost (publish +
+/// barrier + verdict + exchange), and its inverse is epochs/sec.
+fn bench_epochs() -> (f64, f64) {
+    use microgrid::desim::shard::{run_sharded_stats, Import, ShardHandle, ShardPlan, ShardRun};
+    use microgrid::desim::{now, sleep_until};
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    const HOPS: u64 = 400;
+    let la = SimDuration::from_micros(10);
+    let plan = ShardPlan::connected(2, la);
+    let t0 = std::time::Instant::now();
+    let factories: Vec<_> = (0..2)
+        .map(|s| {
+            Box::new(move |h: ShardHandle<u64>| {
+                let sim = Simulation::new(11);
+                let done = Rc::new(Cell::new(false));
+                let root = sim.spawn({
+                    let h = h.clone();
+                    async move {
+                        if s == 0 {
+                            h.export(1, now() + la, 0);
+                        }
+                    }
+                });
+                let done2 = done.clone();
+                ShardRun {
+                    sim,
+                    deliver: Box::new(move |sim, imp: Import<u64>| {
+                        let h = h.clone();
+                        let done = done2.clone();
+                        sim.spawn(async move {
+                            sleep_until(imp.time).await;
+                            if imp.msg + 1 < HOPS {
+                                h.export(1 - h.shard_id(), now() + la, imp.msg + 1);
+                            } else {
+                                done.set(true);
+                            }
+                        });
+                    }),
+                    root_done: Box::new(move || root.is_finished() && done.get()),
+                    advise: None,
+                    finish: Box::new(|_| ()),
+                }
+            }) as Box<dyn FnOnce(ShardHandle<u64>) -> ShardRun<u64, ()> + Send>
+        })
+        .collect();
+    let (_, stats) = run_sharded_stats(plan, factories);
+    let secs = t0.elapsed().as_secs_f64();
+    let epochs = stats.epochs.max(1) as f64;
+    (epochs / secs, secs * 1e9 / epochs)
+}
+
 /// Re-run the parallel-capable figures with scenario sharding enabled
 /// and record wall time against the serial sweep just measured. Results
 /// stay byte-identical (`run_scenarios` merges in submission order);
@@ -254,16 +328,24 @@ fn measure_par(serial: &Measurements) -> ParMeasurements {
         .and_then(|v| v.parse::<usize>().ok())
         .filter(|&n| n >= 1)
         .unwrap_or(4);
+    let machine = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    eprintln!("epoch engine microbench ...");
+    let (epochs_per_sec, epoch_overhead_ns) = bench_epochs();
     let mut par = ParMeasurements {
         par_shards: shards,
-        machine_parallelism: std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1),
+        machine_parallelism: machine,
+        advisory: Some(machine == 1),
+        epochs_per_sec: Some(epochs_per_sec),
+        epoch_overhead_ns: Some(epoch_overhead_ns),
+        par_scenarios: Some(BTreeMap::new()),
         ..ParMeasurements::default()
     };
     std::env::set_var("MGRID_SHARDS", shards.to_string());
     for f in figures().into_iter().filter(|f| PAR_FIGS.contains(&f.id)) {
         eprintln!("figure {} (MGRID_SHARDS={shards}) ...", f.id);
+        let _ = mgrid_bench::runner::take_scenario_count();
         let t0 = std::time::Instant::now();
         let _ = (f.run)();
         let ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -271,6 +353,9 @@ fn measure_par(serial: &Measurements) -> ParMeasurements {
         par.par_speedup
             .insert(f.id.to_string(), ratio(serial_ms, ms));
         par.par_figures_ms.insert(f.id.to_string(), ms);
+        par.par_scenarios
+            .get_or_insert_with(BTreeMap::new)
+            .insert(f.id.to_string(), mgrid_bench::runner::take_scenario_count());
     }
     match prior {
         Some(v) => std::env::set_var("MGRID_SHARDS", v),
@@ -287,10 +372,57 @@ fn ratio(num: f64, den: f64) -> f64 {
     }
 }
 
+/// The regression gates behind `--check` / `--check-file`. Returns one
+/// message per violated gate:
+///
+/// * `repro_total` speedup below 0.9 — the figure sweep regressed more
+///   than 10% against the committed baseline (skipped under fast mode,
+///   whose shrunken sweep is not comparable).
+/// * Any `par_speedup` entry below 1.0 while `machine_parallelism > 1` —
+///   sharding made a figure *slower* on a machine that had cores to use.
+///   On a 1-core machine the `par` section is advisory and exempt: the
+///   speedups are bounded by the hardware, not the engine.
+fn validate(file: &BenchFile) -> Vec<String> {
+    let mut errs = Vec::new();
+    if !file.fast_mode && file.speedup.repro_total > 0.0 && file.speedup.repro_total < 0.9 {
+        errs.push(format!(
+            "repro_total speedup {:.3} is a >10% regression vs the baseline",
+            file.speedup.repro_total
+        ));
+    }
+    if let Some(par) = &file.par {
+        if par.machine_parallelism > 1 {
+            for (id, s) in &par.par_speedup {
+                if *s < 1.0 {
+                    errs.push(format!(
+                        "par_speedup[{id}] = {s:.3} < 1.0 with machine_parallelism = {}",
+                        par.machine_parallelism
+                    ));
+                }
+            }
+        }
+    }
+    errs
+}
+
+/// Report gate violations and exit nonzero if there are any.
+fn enforce(file: &BenchFile) -> ! {
+    let errs = validate(file);
+    if errs.is_empty() {
+        println!("perf check: all gates pass");
+        std::process::exit(0);
+    }
+    for e in &errs {
+        eprintln!("perf check FAILED: {e}");
+    }
+    std::process::exit(1);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out: Option<String> = None;
     let mut set_baseline = false;
+    let mut check = false;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -301,8 +433,24 @@ fn main() {
                 }));
             }
             "--set-baseline" => set_baseline = true,
+            "--check" => check = true,
+            "--check-file" => {
+                let path = it.next().unwrap_or_else(|| {
+                    eprintln!("--check-file needs a file path");
+                    std::process::exit(2);
+                });
+                let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                    eprintln!("cannot read {path}: {e}");
+                    std::process::exit(2);
+                });
+                let file: BenchFile = serde_json::from_str(&text).unwrap_or_else(|e| {
+                    eprintln!("cannot parse {path}: {e}");
+                    std::process::exit(2);
+                });
+                enforce(&file);
+            }
             "--help" | "-h" => {
-                println!("usage: perf [--out FILE] [--set-baseline]");
+                println!("usage: perf [--out FILE] [--set-baseline] [--check] [--check-file FILE]");
                 return;
             }
             other => {
@@ -362,13 +510,29 @@ fn main() {
     );
     if let Some(par) = &file.par {
         println!(
-            "-- sharded figures (MGRID_SHARDS={}, {} cores) --",
-            par.par_shards, par.machine_parallelism
+            "-- sharded figures (MGRID_SHARDS={}, {} cores{}) --",
+            par.par_shards,
+            par.machine_parallelism,
+            if par.advisory.unwrap_or(false) {
+                ", ADVISORY: single-core machine, speedups bounded by hardware"
+            } else {
+                ""
+            }
+        );
+        println!(
+            "epochs/sec {:>12.0}   epoch overhead {:>8.0} ns",
+            par.epochs_per_sec.unwrap_or(0.0),
+            par.epoch_overhead_ns.unwrap_or(0.0)
         );
         for (id, ms) in &par.par_figures_ms {
             println!(
-                "{id:<8} {ms:>12.1} ms  ({:.2}x vs serial)",
-                par.par_speedup.get(id).copied().unwrap_or(0.0)
+                "{id:<8} {ms:>12.1} ms  ({:.2}x vs serial, {} scenarios)",
+                par.par_speedup.get(id).copied().unwrap_or(0.0),
+                par.par_scenarios
+                    .as_ref()
+                    .and_then(|m| m.get(id))
+                    .copied()
+                    .unwrap_or(0)
             );
         }
     }
@@ -379,5 +543,9 @@ fn main() {
         f.write_all(json.as_bytes()).expect("write bench file");
         f.write_all(b"\n").expect("write bench file");
         println!("wrote {path}");
+    }
+
+    if check {
+        enforce(&file);
     }
 }

@@ -15,6 +15,11 @@ thread_local! {
     /// Metrics accumulated across every simulation this thread has driven
     /// since the last [`take_metrics`] call.
     static ACCUM: RefCell<MetricsSnapshot> = RefCell::new(MetricsSnapshot::default());
+    /// Scenarios submitted through [`run_scenarios`] since the last
+    /// [`take_scenario_count`] call — the perf harness records this per
+    /// figure so `BENCH_core.json` shows how much within-figure
+    /// parallelism each `par` entry actually had to work with.
+    static SCENARIOS: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
 }
 
 /// Fold one finished simulation's metrics into the thread accumulator.
@@ -176,6 +181,7 @@ pub type Scenario<R> = Box<dyn FnOnce() -> R + Send>;
 /// accumulator; [`MetricsSnapshot::merge`] is commutative and
 /// associative, so the merged figure snapshot is also shard-invariant.
 pub fn run_scenarios<R: Send + 'static>(jobs: Vec<Scenario<R>>) -> Vec<R> {
+    SCENARIOS.with(|c| c.set(c.get() + jobs.len()));
     let shards = shard_count();
     if shards <= 1 || jobs.len() <= 1 {
         // Sequential path: exactly the historical loop, metrics flow
@@ -199,6 +205,12 @@ pub fn run_scenarios<R: Send + 'static>(jobs: Vec<Scenario<R>>) -> Vec<R> {
         out.push(r);
     }
     out
+}
+
+/// Take (and reset) the number of scenarios submitted through
+/// [`run_scenarios`] on this thread since the last call.
+pub fn take_scenario_count() -> usize {
+    SCENARIOS.with(|c| c.replace(0))
 }
 
 /// Class A normally, class S in fast mode.

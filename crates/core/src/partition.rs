@@ -13,6 +13,7 @@
 //! order, edges sort by `(delay, config order)`, and shard ids are
 //! assigned by the smallest unit index each group contains.
 
+use mgrid_desim::shard::ShardPlan;
 use mgrid_desim::time::SimDuration;
 use mgrid_desim::FxHashMap;
 
@@ -30,12 +31,31 @@ pub struct Partition {
     /// links. `None` when nothing is cut (single shard or disconnected
     /// groups with no cross traffic).
     pub lookahead: Option<SimDuration>,
+    /// Per-pair conservative lookahead: `pair_lookahead[s][d]` is the
+    /// minimum delay over the cut links joining shards `s` and `d`
+    /// directly (duplex links count both ways), `None` when no direct
+    /// link joins the pair. Strictly wider than the single global
+    /// [`Partition::lookahead`] for any cut with more than one distinct
+    /// latency — the event-driven engine grants shards separated by a
+    /// slow pair a correspondingly larger safe window.
+    pub pair_lookahead: Vec<Vec<Option<SimDuration>>>,
 }
 
 impl Partition {
     /// Shard of node `name`, if it exists in the grid.
     pub fn shard_of(&self, name: &str) -> Option<usize> {
         self.node_shard.get(name).copied()
+    }
+
+    /// The [`ShardPlan`] this partition induces: a connected plan
+    /// carrying the per-pair lookahead matrix when the cut carries
+    /// traffic, an edge-free independent plan when nothing is cut.
+    pub fn shard_plan(&self) -> ShardPlan {
+        match self.lookahead {
+            Some(la) if self.shards > 1 => ShardPlan::connected(self.shards, la)
+                .with_lookahead_matrix(self.pair_lookahead.clone()),
+            _ => ShardPlan::independent(self.shards.max(1)),
+        }
     }
 }
 
@@ -187,10 +207,29 @@ pub fn partition(config: &GridConfig, shards: usize) -> Partition {
         .map(|l| l.delay)
         .min();
 
+    // Per-pair matrix: minimum delay over the direct cut links of each
+    // shard pair (config links are duplex, so both directions get the
+    // entry).
+    let shards_out = shard_of_root.len();
+    let mut pair_lookahead = vec![vec![None; shards_out]; shards_out];
+    for l in &config.network.links {
+        let (sa, sb) = (node_shard[&l.a], node_shard[&l.b]);
+        if sa == sb {
+            continue;
+        }
+        for (x, y) in [(sa, sb), (sb, sa)] {
+            pair_lookahead[x][y] = match pair_lookahead[x][y] {
+                Some(d) if d <= l.delay => Some(d),
+                _ => Some(l.delay),
+            };
+        }
+    }
+
     Partition {
-        shards: shard_of_root.len(),
+        shards: shards_out,
         node_shard,
         lookahead,
+        pair_lookahead,
     }
 }
 
@@ -236,6 +275,33 @@ mod tests {
         cfg.virtual_hosts[3].mapped_to = "phys2".into();
         let p = partition(&cfg, 8);
         assert_eq!(p.shard_of("uiuc0"), p.shard_of("uiuc1"));
+    }
+
+    #[test]
+    fn pair_matrix_covers_the_cut_both_ways() {
+        let cfg = presets::vbns_grid(622e6);
+        let p = partition(&cfg, 2);
+        assert_eq!(p.shards, 2);
+        // One duplex long-haul link joins the two sites; the matrix
+        // carries its delay in both directions and nothing on the
+        // diagonal.
+        assert_eq!(p.pair_lookahead[0][1], Some(SimDuration::from_millis(25)));
+        assert_eq!(p.pair_lookahead[1][0], Some(SimDuration::from_millis(25)));
+        assert_eq!(p.pair_lookahead[0][0], None);
+        assert_eq!(p.pair_lookahead[1][1], None);
+    }
+
+    #[test]
+    fn shard_plan_matches_the_partition() {
+        let cfg = presets::vbns_grid(155e6);
+        let p = partition(&cfg, 2);
+        let plan = p.shard_plan();
+        assert_eq!(plan.shards(), 2);
+        assert_eq!(plan.lookahead(), Some(SimDuration::from_millis(25)));
+        // A single-shard partition cuts nothing: edge-free plan.
+        let solo = partition(&cfg, 1).shard_plan();
+        assert_eq!(solo.shards(), 1);
+        assert_eq!(solo.lookahead(), None);
     }
 
     #[test]

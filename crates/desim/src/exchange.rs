@@ -1,0 +1,244 @@
+//! Lock-free cross-worker exchange primitives for the sharded engine.
+//!
+//! The PR 6 engine funneled every cross-shard message through one shared
+//! mailbox matrix behind a lock, plus three more locked vectors for the
+//! per-round all-reduce — four lock acquisitions per shard per epoch,
+//! all serializing on the same cache lines. This module replaces that
+//! with two wait-free pieces:
+//!
+//! * [`ExchangeCell`]: a double-buffered mailbox for one directed shard
+//!   pair. The producer publishes a whole batch with one atomic pointer
+//!   swap; the consumer drains it with another. Two banks selected by
+//!   round parity keep a round's writes from colliding with the
+//!   previous round's reads, and the engine's barrier provides the
+//!   happens-before edge between them.
+//! * [`SlotVec`]: a fixed-size slot array whose indices are statically
+//!   partitioned between threads (each slot has exactly one writer), so
+//!   job hand-off and result collection need no locks either.
+//!
+//! Neither type spins or blocks: per epoch the whole exchange costs two
+//! atomic swaps per active shard pair.
+
+use std::cell::UnsafeCell;
+use std::marker::PhantomData;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+
+/// One bank of an [`ExchangeCell`]: a published batch (null = empty)
+/// and the minimum timestamp it carries (`u64::MAX` = none). The
+/// timestamp is stored on *every* publish, batch or not, so readers can
+/// distinguish "nothing sent this round" from a stale value.
+struct Bank<T> {
+    buf: AtomicPtr<Vec<T>>,
+    min_time: AtomicU64,
+}
+
+/// A double-buffered, lock-free mailbox for one directed `(src, dst)`
+/// shard pair.
+///
+/// Protocol (enforced by the sharded engine, not by this type): in each
+/// barrier round the producer calls [`publish`](ExchangeCell::publish)
+/// on the bank selected by round parity *before* the barrier, and the
+/// consumer calls [`min_time`](ExchangeCell::min_time) /
+/// [`take`](ExchangeCell::take) on the same bank *after* it. Alternating
+/// parity gives each bank a full round of exclusivity, so the atomics
+/// only ever hand a fully-built `Vec` across the barrier.
+pub(crate) struct ExchangeCell<T> {
+    banks: [Bank<T>; 2],
+    /// The cell owns the published `Vec<T>` batches (dropped in `Drop`).
+    _owns: PhantomData<Vec<T>>,
+}
+
+// SAFETY: the cell never hands out references into a batch — publish and
+// take transfer *ownership* of a whole `Vec<T>` through an atomic pointer
+// swap, so sharing the cell across threads only ever moves values between
+// them. That is exactly the `T: Send` contract; `T: Sync` is not needed.
+unsafe impl<T: Send> Sync for ExchangeCell<T> {}
+// SAFETY: as above — the cell is an owner of `Vec<T>` values, so moving
+// the cell itself to another thread moves those values (`T: Send`).
+unsafe impl<T: Send> Send for ExchangeCell<T> {}
+
+impl<T> ExchangeCell<T> {
+    pub(crate) fn new() -> Self {
+        let bank = || Bank {
+            buf: AtomicPtr::new(ptr::null_mut()),
+            min_time: AtomicU64::new(u64::MAX),
+        };
+        ExchangeCell {
+            banks: [bank(), bank()],
+            _owns: PhantomData,
+        }
+    }
+
+    /// Publish this round's batch into bank `parity`. `min_time` must be
+    /// the minimum timestamp in `batch` (`u64::MAX` when empty); it is
+    /// stored unconditionally so the consumer always observes a
+    /// this-round value, while the buffer swap is skipped for empty
+    /// batches.
+    pub(crate) fn publish(&self, parity: usize, batch: Vec<T>, min_time: u64) {
+        let bank = &self.banks[parity & 1];
+        bank.min_time.store(min_time, Ordering::Release);
+        if batch.is_empty() {
+            return;
+        }
+        let prev = bank
+            .buf
+            .swap(Box::into_raw(Box::new(batch)), Ordering::AcqRel);
+        if !prev.is_null() {
+            // A leftover batch means the consumer stopped before
+            // draining (e.g. the run ended on this round's verdict);
+            // reclaim it rather than leak.
+            // SAFETY: non-null pointers in `buf` only ever come from
+            // `Box::into_raw` in this function, and the swap above took
+            // sole ownership of this one.
+            drop(unsafe { Box::from_raw(prev) });
+        }
+    }
+
+    /// The minimum timestamp published into bank `parity` this round
+    /// (`u64::MAX` = nothing in flight on this edge).
+    pub(crate) fn min_time(&self, parity: usize) -> u64 {
+        self.banks[parity & 1].min_time.load(Ordering::Acquire)
+    }
+
+    /// Drain bank `parity`, taking the published batch if any.
+    pub(crate) fn take(&self, parity: usize) -> Option<Vec<T>> {
+        let prev = self.banks[parity & 1]
+            .buf
+            .swap(ptr::null_mut(), Ordering::AcqRel);
+        if prev.is_null() {
+            return None;
+        }
+        // SAFETY: non-null pointers in `buf` only ever come from
+        // `Box::into_raw` in `publish`, and the swap above took sole
+        // ownership of this one.
+        Some(*unsafe { Box::from_raw(prev) })
+    }
+}
+
+impl<T> Drop for ExchangeCell<T> {
+    fn drop(&mut self) {
+        for bank in &self.banks {
+            let p = bank.buf.swap(ptr::null_mut(), Ordering::AcqRel);
+            if !p.is_null() {
+                // SAFETY: sole ownership, as in `take`.
+                drop(unsafe { Box::from_raw(p) });
+            }
+        }
+    }
+}
+
+/// A fixed-size array of single-writer slots shared across threads.
+///
+/// The caller must partition indices so that each slot is touched by at
+/// most one thread at a time (the sharded engine does this statically
+/// for shard results and via an atomic ticket counter for job claims);
+/// `take`/`put` are `unsafe` to make that contract explicit at each
+/// call site.
+pub(crate) struct SlotVec<T> {
+    slots: Vec<UnsafeCell<Option<T>>>,
+}
+
+// SAFETY: every slot is `Option<T>` behind an `UnsafeCell`; the
+// single-writer-per-slot contract on `take`/`put` means distinct threads
+// never alias a slot mutably, and `T: Send` lets values cross threads.
+unsafe impl<T: Send> Sync for SlotVec<T> {}
+
+impl<T> SlotVec<T> {
+    /// `n` empty slots.
+    pub(crate) fn new(n: usize) -> Self {
+        SlotVec {
+            slots: (0..n).map(|_| UnsafeCell::new(None)).collect(),
+        }
+    }
+
+    /// One filled slot per value, in order.
+    pub(crate) fn from_values(values: Vec<T>) -> Self {
+        SlotVec {
+            slots: values
+                .into_iter()
+                .map(|v| UnsafeCell::new(Some(v)))
+                .collect(),
+        }
+    }
+
+    /// Take slot `i`'s value.
+    ///
+    /// # Safety
+    /// No other thread may access slot `i` concurrently.
+    // SAFETY: `unsafe fn` by design — it propagates the per-slot
+    // exclusivity obligation to the caller instead of discharging it.
+    pub(crate) unsafe fn take(&self, i: usize) -> Option<T> {
+        // SAFETY: exclusivity of slot `i` is the caller's contract.
+        unsafe { (*self.slots[i].get()).take() }
+    }
+
+    /// Store `v` into slot `i`.
+    ///
+    /// # Safety
+    /// No other thread may access slot `i` concurrently.
+    // SAFETY: `unsafe fn` by design — it propagates the per-slot
+    // exclusivity obligation to the caller instead of discharging it.
+    pub(crate) unsafe fn put(&self, i: usize, v: T) {
+        // SAFETY: exclusivity of slot `i` is the caller's contract.
+        unsafe { *self.slots[i].get() = Some(v) };
+    }
+
+    /// Consume the array, returning every slot (exclusive access is
+    /// guaranteed by ownership).
+    pub(crate) fn into_inner(self) -> Vec<Option<T>> {
+        self.slots.into_iter().map(UnsafeCell::into_inner).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_take_round_trips_batches() {
+        let cell = ExchangeCell::<u32>::new();
+        assert_eq!(cell.min_time(0), u64::MAX);
+        cell.publish(0, vec![7, 8], 40);
+        assert_eq!(cell.min_time(0), 40);
+        assert_eq!(cell.min_time(1), u64::MAX);
+        assert_eq!(cell.take(0), Some(vec![7, 8]));
+        assert_eq!(cell.take(0), None);
+    }
+
+    #[test]
+    fn empty_publish_resets_the_timestamp_only() {
+        let cell = ExchangeCell::<u32>::new();
+        cell.publish(0, vec![1], 10);
+        assert_eq!(cell.take(0), Some(vec![1]));
+        cell.publish(0, Vec::new(), u64::MAX);
+        assert_eq!(cell.min_time(0), u64::MAX);
+        assert_eq!(cell.take(0), None);
+    }
+
+    #[test]
+    fn undrained_batches_are_reclaimed_not_leaked() {
+        let cell = ExchangeCell::<String>::new();
+        cell.publish(1, vec!["a".into()], 1);
+        // Re-publish on the same bank without draining (engine stopped),
+        // then drop the cell with a batch still in flight: both paths
+        // must free their boxes (run under the test suite's normal
+        // allocator this is exercised by miri-less sanity: no crash).
+        cell.publish(1, vec!["b".into()], 2);
+        assert_eq!(cell.take(1), Some(vec!["b".to_string()]));
+        cell.publish(1, vec!["c".into()], 3);
+        drop(cell);
+    }
+
+    #[test]
+    fn slot_vec_hands_each_index_to_one_owner() {
+        let v = SlotVec::from_values(vec![1, 2, 3]);
+        // SAFETY: single-threaded test — trivially exclusive.
+        unsafe {
+            assert_eq!(v.take(1), Some(2));
+            assert_eq!(v.take(1), None);
+            v.put(1, 9);
+        }
+        assert_eq!(v.into_inner(), vec![Some(1), Some(9), Some(3)]);
+    }
+}

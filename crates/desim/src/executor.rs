@@ -198,6 +198,9 @@ pub(crate) struct SimInner {
     timers: RefCell<BinaryHeap<Reverse<TimerEntry>>>,
     timer_slots: RefCell<Vec<TimerSlot>>,
     timer_free: RefCell<Vec<u32>>,
+    /// Heap entries whose timer was cancelled (generation-stale). Kept
+    /// so the heap can be compacted once the dead weight dominates.
+    stale_timers: Cell<usize>,
     rng: SharedRng,
     polls: Cell<u64>,
     obs: Obs,
@@ -254,6 +257,7 @@ impl Simulation {
                 timers: RefCell::new(BinaryHeap::with_capacity(64)),
                 timer_slots: RefCell::new(Vec::new()),
                 timer_free: RefCell::new(Vec::new()),
+                stale_timers: Cell::new(0),
                 rng: SharedRng::new(seed),
                 polls: Cell::new(0),
                 obs: Obs::new(),
@@ -521,7 +525,21 @@ impl SimInner {
     }
 
     fn peek_timer(&self) -> Option<SimTime> {
-        self.timers.borrow().peek().map(|Reverse(e)| e.at)
+        // Pop cancelled entries off the top so the reported time is a
+        // *live* deadline: the sharded engine feeds this into the global
+        // lower-bound computation, where a stale minimum would shrink
+        // every shard's window for nothing.
+        let mut timers = self.timers.borrow_mut();
+        let slots = self.timer_slots.borrow();
+        while let Some(Reverse(e)) = timers.peek() {
+            if slots[e.slot as usize].gen == e.gen {
+                return Some(e.at);
+            }
+            timers.pop();
+            self.stale_timers
+                .set(self.stale_timers.get().saturating_sub(1));
+        }
+        None
     }
 
     /// Jump the clock to `at` and fire every timer scheduled for that
@@ -544,7 +562,10 @@ impl SimInner {
                 let mut slots = self.timer_slots.borrow_mut();
                 let s = &mut slots[slot as usize];
                 if s.gen != gen {
-                    continue; // cancelled timer: the heap entry is a no-op
+                    // Cancelled timer: the heap entry is a no-op.
+                    self.stale_timers
+                        .set(self.stale_timers.get().saturating_sub(1));
+                    continue;
                 }
                 let w = s.waker.take();
                 s.gen = s.gen.wrapping_add(1);
@@ -599,13 +620,48 @@ impl SimInner {
     pub(crate) fn cancel_timer(&self, handle: TimerHandle) {
         // The heap entry stays and is skipped on pop (generation mismatch);
         // dropping the waker and bumping the generation neutralizes it.
-        let mut slots = self.timer_slots.borrow_mut();
-        let s = &mut slots[handle.slot as usize];
-        if s.gen == handle.gen {
+        {
+            let mut slots = self.timer_slots.borrow_mut();
+            let s = &mut slots[handle.slot as usize];
+            if s.gen != handle.gen {
+                return;
+            }
             s.waker = None;
             s.gen = s.gen.wrapping_add(1);
             self.timer_free.borrow_mut().push(handle.slot);
         }
+        self.stale_timers.set(self.stale_timers.get() + 1);
+        self.maybe_purge_timers();
+    }
+
+    /// Lazily compact the timer heap. Long chaos runs arm and cancel
+    /// huge numbers of retry timeouts, and every cancelled entry lingers
+    /// in the heap until its deadline floats to the top; once more than
+    /// half the entries are generation-stale, rebuild the heap keeping
+    /// only live ones. The O(len) rebuild amortizes against the
+    /// cancellations that created the dead weight; `desim.timers_purged`
+    /// counts the entries dropped.
+    fn maybe_purge_timers(&self) {
+        /// Below this size the dead weight cannot cost enough to be
+        /// worth a rebuild.
+        const MIN_HEAP_FOR_PURGE: usize = 64;
+        let stale = self.stale_timers.get();
+        let mut timers = self.timers.borrow_mut();
+        if timers.len() < MIN_HEAP_FOR_PURGE || stale * 2 <= timers.len() {
+            return;
+        }
+        let slots = self.timer_slots.borrow();
+        let before = timers.len();
+        let mut live = std::mem::take(&mut *timers).into_vec();
+        live.retain(|Reverse(e)| slots[e.slot as usize].gen == e.gen);
+        let purged = before - live.len();
+        *timers = BinaryHeap::from(live);
+        drop(slots);
+        drop(timers);
+        self.stale_timers.set(0);
+        self.obs
+            .metrics()
+            .count("desim.timers_purged", purged as u64);
     }
 }
 
@@ -1028,5 +1084,51 @@ mod tests {
         });
         sim.run_to_completion();
         assert!(sim.inner.timer_slots.borrow().len() <= 4);
+    }
+
+    #[test]
+    fn cancelled_timers_do_not_mask_the_next_event() {
+        let mut sim = Simulation::new(1);
+        sim.spawn(async {
+            // Register a 1 ms timer, then cancel it by dropping the
+            // sleep; only the 9 ms sleep below remains live.
+            let mut early = Some(Box::pin(sleep(SimDuration::from_millis(1))));
+            std::future::poll_fn(move |cx| {
+                let _ = early.as_mut().unwrap().as_mut().poll(cx);
+                early.take();
+                Poll::Ready(())
+            })
+            .await;
+            sleep(SimDuration::from_millis(9)).await;
+        });
+        sim.run_until(SimTime::ZERO);
+        // The stale 1 ms entry must be invisible: the sharded engine's
+        // lower-bound all-reduce relies on this being a live deadline.
+        assert_eq!(sim.next_event_time(), Some(SimTime::from_nanos(9_000_000)));
+        assert_eq!(sim.run().as_millis(), 9);
+    }
+
+    #[test]
+    fn stale_timer_heap_is_purged_in_bulk() {
+        let mut sim = Simulation::new(2);
+        sim.spawn(async {
+            // Arm 256 far-future timers, then cancel them all by drop.
+            let mut sleeps: Vec<_> = (0..256u64)
+                .map(|i| Box::pin(sleep(SimDuration::from_secs(100 + i))))
+                .collect();
+            std::future::poll_fn(move |cx| {
+                for s in &mut sleeps {
+                    let _ = s.as_mut().poll(cx);
+                }
+                sleeps.clear();
+                Poll::Ready(())
+            })
+            .await;
+        });
+        sim.run();
+        // The lazy purge must have compacted the heap well below the 256
+        // armed entries and recorded what it dropped.
+        assert!(sim.inner.timers.borrow().len() < 64);
+        assert!(sim.obs().metrics().counter("desim.timers_purged") >= 128);
     }
 }

@@ -36,6 +36,7 @@
 
 pub mod channel;
 pub mod event;
+mod exchange;
 pub mod executor;
 pub mod fasthash;
 pub mod metrics;

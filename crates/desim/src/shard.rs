@@ -5,42 +5,53 @@
 //! (and mgrid-lint's MG005 enforces that). The sharded engine runs N
 //! *logical processes* (shards) — each an ordinary, fully deterministic
 //! [`Simulation`] — on a fixed-size worker pool, and synchronizes them
-//! with conservative barrier epochs in the style of classic
-//! null-message-free CMB executives:
+//! with **event-driven conservative epochs**:
 //!
 //! * Every shard owns one `Simulation`, created **on its worker thread**
 //!   (the executor's ready queue is owner-thread checked) and never
 //!   migrated.
-//! * Shards exchange timestamped messages through per-edge FIFO
-//!   **mailboxes** (one per ordered shard pair). A message exported at
-//!   virtual time `t` must arrive no earlier than `t + lookahead`, where
-//!   the *lookahead* is the minimum latency across the cut between shards
-//!   (exported by `mgrid-netsim` for grid topologies).
-//! * The engine repeatedly computes the global minimum next-event time
-//!   `m` over all shards (pending timers, runnable tasks, and undelivered
-//!   imports), then lets every shard run the half-open epoch window
-//!   `[m, m + lookahead)` in parallel. The lookahead guarantee means no
-//!   message generated inside the window can arrive inside it, so the
-//!   window is safe to execute without further coordination.
-//! * At each barrier, imports are merged **sorted by `(time, from_shard,
-//!   seq)`** and injected at their exact arrival time. Within one shard
-//!   the injection order therefore never depends on thread scheduling,
-//!   which makes an N-shard run byte-identical to the 1-shard run.
+//! * Shards exchange timestamped messages through per-`(src, dst)`
+//!   double-buffered exchange cells (`crate::exchange`): a batch is
+//!   published with one atomic pointer swap before the barrier and
+//!   drained with another after it — no locks anywhere on the epoch
+//!   path. A message exported at virtual time `t` must arrive no
+//!   earlier than `t + lookahead(src, dst)`, where the per-pair
+//!   lookahead is the minimum latency across that edge of the cut
+//!   (exported by `mgrid-netsim` / `microgrid::partition` for grid
+//!   topologies).
+//! * Each barrier round all-reduces every shard's earliest possible
+//!   activity (next local event or earliest in-flight import) and gives
+//!   each shard its own **horizon**: the earliest instant any chain of
+//!   cross-shard messages could still reach it. The epoch floor jumps
+//!   straight to the global minimum next-event time — empty virtual
+//!   time costs one round, never `gap / lookahead` rounds — and a shard
+//!   with nothing before its horizon parks on the barrier without
+//!   touching its executor at all.
+//! * A shard may additionally publish [`LookaheadAdvice`] widening its
+//!   static lookahead while faults keep the fast cut links down; the
+//!   engine clamps every window at the advice validity floor so a claim
+//!   is always re-examined before it can expire.
+//! * Imports merge into each shard **sorted by `(time, from_shard,
+//!   seq)`** and are injected at their exact arrival time. Within one
+//!   shard the injection order therefore never depends on thread
+//!   scheduling, which makes an N-shard run byte-identical to the
+//!   1-shard run.
 //!
 //! With `shards = 1` (or a plan with no edges and one job) the engine
 //! runs entirely inline on the calling thread — no threads, no barriers,
 //! no mailboxes — and is the same event loop as [`Simulation::run`], so
 //! sequential behaviour is bit-for-bit unchanged.
 //!
-//! See `docs/PARALLEL.md` for the determinism argument and tuning notes
-//! (`MGRID_SHARDS`).
+//! See `docs/PARALLEL.md` for the determinism argument, the horizon
+//! fixpoint, and tuning notes (`MGRID_SHARDS`).
 
 use std::cell::{Cell, RefCell};
 use std::collections::BinaryHeap;
 use std::rc::Rc;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Barrier, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
 
+use crate::exchange::{ExchangeCell, SlotVec};
 use crate::executor::Simulation;
 use crate::time::{SimDuration, SimTime};
 
@@ -50,6 +61,9 @@ pub struct ShardPlan {
     shards: usize,
     lookahead: Option<SimDuration>,
     max_workers: usize,
+    /// Flattened `shards × shards` per-pair lookahead in nanoseconds,
+    /// row-major by source; `u64::MAX` marks a pair with no direct edge.
+    matrix: Option<Arc<[u64]>>,
 }
 
 impl ShardPlan {
@@ -71,6 +85,7 @@ impl ShardPlan {
             shards,
             lookahead: Some(lookahead),
             max_workers: usize::MAX,
+            matrix: None,
         }
     }
 
@@ -84,6 +99,7 @@ impl ShardPlan {
             shards,
             lookahead: None,
             max_workers: usize::MAX,
+            matrix: None,
         }
     }
 
@@ -96,6 +112,44 @@ impl ShardPlan {
         self
     }
 
+    /// Refine a connected plan with a per-`(src, dst)` lookahead matrix:
+    /// `matrix[src][dst]` is the minimum latency of the direct cut links
+    /// from shard `src` to shard `dst`, or `None` when no direct edge
+    /// joins the pair (such pairs exchange no traffic — cross-shard
+    /// messages always leave through a direct cut link). Wider per-pair
+    /// bounds give distant shards larger safe windows than the single
+    /// global minimum would.
+    ///
+    /// # Panics
+    /// Panics on a non-square matrix, on a plan without a lookahead
+    /// (use [`ShardPlan::connected`]), or on an off-diagonal entry below
+    /// the plan's global lookahead (the global value must stay the
+    /// minimum over the matrix).
+    pub fn with_lookahead_matrix(mut self, matrix: Vec<Vec<Option<SimDuration>>>) -> Self {
+        let la = self
+            .lookahead
+            .expect("per-pair lookahead requires a connected plan");
+        assert_eq!(matrix.len(), self.shards, "matrix must be shards × shards");
+        let mut flat = Vec::with_capacity(self.shards * self.shards);
+        for (s, row) in matrix.iter().enumerate() {
+            assert_eq!(row.len(), self.shards, "matrix must be shards × shards");
+            for (d, cell) in row.iter().enumerate() {
+                flat.push(match cell {
+                    Some(l) => {
+                        assert!(
+                            s == d || *l >= la,
+                            "pair lookahead ({s},{d}) is below the plan's global lookahead"
+                        );
+                        l.as_nanos()
+                    }
+                    None => u64::MAX,
+                });
+            }
+        }
+        self.matrix = Some(flat.into());
+        self
+    }
+
     /// Number of shards in the plan.
     pub fn shards(&self) -> usize {
         self.shards
@@ -104,6 +158,16 @@ impl ShardPlan {
     /// The conservative lookahead, `None` for independent shards.
     pub fn lookahead(&self) -> Option<SimDuration> {
         self.lookahead
+    }
+
+    /// Conservative lookahead from `src` to `dst` in nanoseconds: the
+    /// matrix entry when one was provided, the global lookahead
+    /// otherwise; `u64::MAX` when the pair exchanges no traffic.
+    fn pair_lookahead_ns(&self, src: usize, dst: usize) -> u64 {
+        match &self.matrix {
+            Some(m) => m[src * self.shards + dst],
+            None => self.lookahead.map_or(u64::MAX, SimDuration::as_nanos),
+        }
     }
 }
 
@@ -154,6 +218,7 @@ pub struct ShardHandle<M> {
     shard_id: usize,
     shards: usize,
     lookahead: Option<SimDuration>,
+    matrix: Option<Arc<[u64]>>,
     outbox: Rc<RefCell<Vec<Export<M>>>>,
     /// Per-destination FIFO sequence counters.
     seqs: Rc<Vec<Cell<u64>>>,
@@ -165,6 +230,7 @@ impl<M> Clone for ShardHandle<M> {
             shard_id: self.shard_id,
             shards: self.shards,
             lookahead: self.lookahead,
+            matrix: self.matrix.clone(),
             outbox: self.outbox.clone(),
             seqs: self.seqs.clone(),
         }
@@ -177,6 +243,7 @@ impl<M> ShardHandle<M> {
             shard_id,
             shards: plan.shards,
             lookahead: plan.lookahead,
+            matrix: plan.matrix.clone(),
             outbox: Rc::new(RefCell::new(Vec::new())),
             seqs: Rc::new((0..plan.shards).map(|_| Cell::new(0)).collect()),
         }
@@ -198,17 +265,24 @@ impl<M> ShardHandle<M> {
     /// simulation clock to check the lookahead contract).
     ///
     /// # Panics
-    /// Panics if `time` violates the plan's lookahead — i.e. the message
-    /// would arrive inside the epoch window currently being executed,
-    /// which would break determinism.
+    /// Panics if `time` violates the plan's lookahead for the
+    /// `(self, to)` pair — i.e. the message would arrive inside an epoch
+    /// window a peer may currently be executing, which would break
+    /// determinism.
     pub fn export(&self, to: usize, time: SimTime, msg: M) {
         assert!(to < self.shards, "export to unknown shard {to}");
         assert_ne!(to, self.shard_id, "a shard cannot export to itself");
-        if let Some(la) = self.lookahead {
+        if self.lookahead.is_some() {
             let now = crate::executor::now();
+            let pair_ns = self.matrix.as_ref().map_or_else(
+                || self.lookahead.unwrap().as_nanos(),
+                |m| m[self.shard_id * self.shards + to],
+            );
             assert!(
-                time >= now + la,
-                "lookahead violation: export at {now} arriving {time} < now + {la}"
+                time.as_nanos() >= now.as_nanos().saturating_add(pair_ns),
+                "lookahead violation: export from shard {} at {now} arriving {time} \
+                 before the shard-{to} lookahead ({pair_ns} ns) elapses",
+                self.shard_id,
             );
         }
         let seq = self.seqs[to].get();
@@ -233,8 +307,36 @@ impl<M> ShardHandle<M> {
 /// simulation.
 pub type DeliverFn<M> = Box<dyn FnMut(&mut Simulation, Import<M>)>;
 
+/// Adaptive-lookahead hook of a [`ShardRun`]: consulted once per barrier
+/// round with the shard's current virtual time.
+pub type LookaheadFn = Box<dyn Fn(SimTime) -> LookaheadAdvice>;
+
+/// Adaptive lookahead advice, published by a shard at each barrier round.
+///
+/// The static per-pair lookahead of a [`ShardPlan`] is the minimum
+/// latency of the cut assuming *every* cut link can carry traffic. When
+/// fault events down the fast links on the cut, the surviving (or
+/// still-draining) links may be much slower, and a shard that knows
+/// this can widen everyone's epoch windows by promising a larger bound
+/// on its own future exports.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LookaheadAdvice {
+    /// A lower bound on `arrival − send` for every export this shard
+    /// will make while the advice is valid. `None` claims nothing
+    /// beyond the plan's static lookahead (always safe); use
+    /// `Some(SimDuration::MAX)` for "cannot export at all right now".
+    pub out_lookahead: Option<SimDuration>,
+    /// Earliest virtual instant at which the claim may stop holding —
+    /// typically the next fault event that can bring a cut link back up
+    /// (see `FaultPlan::link_change_times` in `mgrid-faults`). `None`
+    /// means the claim holds forever. The engine never lets any shard's
+    /// window cross the earliest published floor, so advice is always
+    /// re-sampled before it could go stale.
+    pub valid_until: Option<SimTime>,
+}
+
 /// What a shard factory hands back to the engine: the simulation to
-/// drive, plus the three hooks the epoch loop needs.
+/// drive, plus the hooks the epoch loop needs.
 pub struct ShardRun<M, R> {
     /// The shard's simulation, created on the worker thread.
     pub sim: Simulation,
@@ -246,6 +348,9 @@ pub struct ShardRun<M, R> {
     /// reports done the run ends at the next barrier (mirroring
     /// [`Simulation::block_on`], which stops at root completion).
     pub root_done: Box<dyn Fn() -> bool>,
+    /// Optional adaptive-lookahead hook; `None` publishes neutral advice
+    /// (the static plan lookahead, always valid).
+    pub advise: Option<LookaheadFn>,
     /// Extracts the shard's result after the final epoch.
     pub finish: Box<dyn FnOnce(Simulation) -> R>,
 }
@@ -284,41 +389,169 @@ impl<M, R> ShardState<M, R> {
 }
 
 /// Shared cross-worker coordination state for one run.
+///
+/// Everything is exchanged through parity-banked atomics: each round a
+/// worker *stores* into the bank selected by the round's parity before
+/// the (single) barrier, then every worker *loads* the whole bank after
+/// it. The barrier provides the happens-before edge; alternating parity
+/// keeps one round's stores from racing the previous round's loads, so
+/// no locks are needed anywhere.
 struct Exchange<M> {
     barrier: Barrier,
-    /// `inboxes[s]`: imports addressed to shard `s`, appended at barriers.
-    inboxes: Mutex<Vec<Vec<Import<M>>>>,
-    /// `mins[s]`: shard `s`'s local minimum next-event time (nanos;
-    /// `u64::MAX` = quiescent), refreshed every round.
-    mins: Mutex<Vec<u64>>,
-    /// `done[s]` once shard `s`'s root completed.
-    done: Mutex<Vec<bool>>,
+    /// `cells[src * shards + dst]`: the double-banked mailbox of each
+    /// directed shard pair.
+    cells: Vec<ExchangeCell<Import<M>>>,
+    /// Per bank, per shard: local minimum next-event time (nanos,
+    /// `u64::MAX` = quiescent).
+    mins: [Vec<AtomicU64>; 2],
+    /// Per bank, per shard: root completion.
+    done: [Vec<AtomicBool>; 2],
+    /// Per bank, per shard: advice lookahead in nanos (`0` = no claim
+    /// beyond the static plan).
+    out_la: [Vec<AtomicU64>; 2],
+    /// Per bank, per shard: advice validity floor in nanos
+    /// (`u64::MAX` = unbounded).
+    floor: [Vec<AtomicU64>; 2],
     /// Set when a worker panicked mid-round; peers drain out at their
     /// next barrier instead of waiting forever.
     failed: AtomicBool,
+    /// Barrier rounds executed (every worker counts the same number;
+    /// `fetch_max` makes the aggregation order-free).
+    epochs: AtomicU64,
+    /// Shard-windows that executed events / were idle-parked.
+    windows_run: AtomicU64,
+    windows_idle: AtomicU64,
 }
 
-/// The global time floor and termination verdict for one round.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+impl<M> Exchange<M> {
+    fn new(shards: usize, workers: usize) -> Self {
+        let bank_u64 = || -> [Vec<AtomicU64>; 2] {
+            std::array::from_fn(|_| (0..shards).map(|_| AtomicU64::new(u64::MAX)).collect())
+        };
+        Exchange {
+            barrier: Barrier::new(workers),
+            cells: (0..shards * shards).map(|_| ExchangeCell::new()).collect(),
+            mins: bank_u64(),
+            done: std::array::from_fn(|_| (0..shards).map(|_| AtomicBool::new(false)).collect()),
+            out_la: bank_u64(),
+            floor: bank_u64(),
+            failed: AtomicBool::new(false),
+            epochs: AtomicU64::new(0),
+            windows_run: AtomicU64::new(0),
+            windows_idle: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Where a sharded run spent its barrier rounds; see
+/// [`run_sharded_stats`]. The perf harness uses this to report
+/// epochs/sec and per-epoch barrier overhead.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EpochStats {
+    /// Barrier rounds executed (one global all-reduce each). Zero for
+    /// the inline single-shard path.
+    pub epochs: u64,
+    /// Shard-windows that actually executed events.
+    pub windows_run: u64,
+    /// Shard-windows skipped because the shard had nothing before its
+    /// horizon: the shard parked on the barrier without its executor
+    /// being polled at all.
+    pub windows_idle: u64,
+}
+
+/// One round's outcome, identical on every worker.
+#[derive(Clone, PartialEq, Eq, Debug)]
 enum Verdict {
-    /// Run the half-open window ending at this horizon (nanos).
-    Advance(u64),
+    /// Per-shard horizons (nanos): shard `d` may deliver and execute
+    /// strictly below `horizons[d]`.
+    Run(Vec<u64>),
     /// Every root completed, or the whole system is quiescent.
     Stop,
 }
 
-fn compute_verdict(mins: &[u64], done: &[bool], lookahead: SimDuration) -> Verdict {
+/// Derive one round's verdict from the published bank.
+///
+/// `act[s]` starts as shard `s`'s earliest possible activity — its
+/// local minimum (`mins`) or the earliest import already in flight to
+/// it this round (`arrivals`) — and is relaxed to the fixpoint of
+///
+/// ```text
+/// act[d] = min(act[d], min over s≠d of act[s] + L(s, d))
+/// ```
+///
+/// where `L(s, d)` is the static per-pair lookahead widened by `s`'s
+/// adaptive advice. The fixpoint accounts for *transitive* wake-ups: an
+/// idle shard is bounded not at infinity but at the cheapest chain of
+/// cross-shard messages that could still reach it. Shard `d`'s horizon
+/// then excludes `d`'s own activity — its own events cannot produce
+/// incoming messages except through a peer, which the fixpoint already
+/// prices in. This is what lets a busy shard run far ahead of idle
+/// peers instead of everyone marching in lookahead-sized steps, and it
+/// strictly dominates the fixed-stride rule (for two shards it yields
+/// `m + 2L` instead of `m + L`).
+///
+/// Every window is finally clamped at the earliest advice-validity
+/// floor `C`: advice is re-published each round, so no shard may rely
+/// on a claim past the instant it could expire. When `C` is at or below
+/// the global minimum `m`, the one-nanosecond window `[m, m+1)` is used
+/// instead — always safe, because arrivals carry at least the static
+/// lookahead (≥ 1 ns) past their send time, and it guarantees progress.
+fn compute_verdict(
+    plan: &ShardPlan,
+    mins: &[u64],
+    arrivals: &[u64],
+    done: &[bool],
+    out_la: &[u64],
+    floors: &[u64],
+) -> Verdict {
     if done.iter().all(|&d| d) {
         return Verdict::Stop;
     }
-    let m = mins.iter().copied().min().unwrap_or(u64::MAX);
+    let n = mins.len();
+    let mut act: Vec<u64> = mins.iter().zip(arrivals).map(|(&m, &a)| m.min(a)).collect();
+    let m = act.iter().copied().min().unwrap_or(u64::MAX);
     if m == u64::MAX {
         // Quiescent with roots unfinished: a distributed deadlock. Stop
         // and let the caller's `finish` hooks observe the blocked state,
         // exactly as `Simulation::run` leaves blocked tasks pending.
         return Verdict::Stop;
     }
-    Verdict::Advance(m.saturating_add(lookahead.as_nanos()))
+    // Both the static pair bound and the advice are lower bounds on
+    // arrival − send, so their max is one too.
+    let l_eff = |s: usize, d: usize| plan.pair_lookahead_ns(s, d).max(out_la[s]);
+    // Relax to the fixpoint; n sweeps suffice (a lowering chain visits
+    // each shard at most once — going around a cycle only adds latency).
+    for _ in 0..n {
+        let mut changed = false;
+        for d in 0..n {
+            for s in 0..n {
+                if s == d {
+                    continue;
+                }
+                let via = act[s].saturating_add(l_eff(s, d));
+                if via < act[d] {
+                    act[d] = via;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let c = floors.iter().copied().min().unwrap_or(u64::MAX);
+    let clamp = if c <= m { m.saturating_add(1) } else { c };
+    let horizons = (0..n)
+        .map(|d| {
+            let h = (0..n)
+                .filter(|&s| s != d)
+                .map(|s| act[s].saturating_add(l_eff(s, d)))
+                .min()
+                .unwrap_or(u64::MAX);
+            h.min(clamp)
+        })
+        .collect();
+    Verdict::Run(horizons)
 }
 
 /// Run a sharded simulation to completion and return every shard's
@@ -370,6 +603,7 @@ fn compute_verdict(mins: &[u64], done: &[bool], lookahead: SimDuration) -> Verdi
 ///             root_done: Box::new(move || {
 ///                 root.is_finished() && !seen3.borrow().is_empty()
 ///             }),
+///             advise: None,
 ///             finish: Box::new(move |_sim| seen.borrow().clone()),
 ///         }
 ///     }) as Box<dyn FnOnce(_) -> _ + Send>
@@ -377,6 +611,17 @@ fn compute_verdict(mins: &[u64], done: &[bool], lookahead: SimDuration) -> Verdi
 /// assert_eq!(out, vec![vec![1u64], vec![0]]);
 /// ```
 pub fn run_sharded<M, R, F>(plan: ShardPlan, factories: Vec<F>) -> Vec<R>
+where
+    M: Send + 'static,
+    R: Send + 'static,
+    F: FnOnce(ShardHandle<M>) -> ShardRun<M, R> + Send + 'static,
+{
+    run_sharded_stats(plan, factories).0
+}
+
+/// [`run_sharded`], additionally returning the engine's [`EpochStats`]
+/// (barrier rounds, executed vs. idle-parked shard-windows).
+pub fn run_sharded_stats<M, R, F>(plan: ShardPlan, factories: Vec<F>) -> (Vec<R>, EpochStats)
 where
     M: Send + 'static,
     R: Send + 'static,
@@ -394,21 +639,14 @@ where
         let mut run = factory(handle);
         let done = run.root_done;
         run.sim.run_until_or(SimTime::MAX, &*done);
-        return vec![(run.finish)(run.sim)];
+        return (vec![(run.finish)(run.sim)], EpochStats::default());
     }
 
     let workers = plan
         .shards
         .min(plan.max_workers)
         .min(default_workers().max(1));
-    let lookahead = plan.lookahead.unwrap_or(SimDuration::MAX);
-    let exchange = Arc::new(Exchange::<M> {
-        barrier: Barrier::new(workers),
-        inboxes: Mutex::new((0..plan.shards).map(|_| Vec::new()).collect()),
-        mins: Mutex::new(vec![u64::MAX; plan.shards]),
-        done: Mutex::new(vec![false; plan.shards]),
-        failed: AtomicBool::new(false),
-    });
+    let exchange = Exchange::<M>::new(plan.shards, workers);
 
     // Hand each worker its statically-assigned factories (shard s runs
     // on worker s % workers, forever — simulations cannot migrate).
@@ -417,32 +655,37 @@ where
         per_worker[s % workers].push((s, f));
     }
 
-    let results = Arc::new(Mutex::new(
-        (0..plan.shards).map(|_| None).collect::<Vec<_>>(),
-    ));
+    let results: SlotVec<R> = SlotVec::new(plan.shards);
     std::thread::scope(|scope| {
         for assigned in per_worker {
-            let exchange = Arc::clone(&exchange);
-            let results = Arc::clone(&results);
+            let exchange = &exchange;
+            let results = &results;
             let plan = plan.clone();
             scope.spawn(move || {
                 // The epoch rounds run under catch_unwind so a panicking
-                // worker can release its peers: at the instant any worker
-                // panics, every worker has completed the same number of
-                // barrier waits (the barrier itself enforces this), so
-                // the panicked worker contributes exactly one more wait,
-                // after which every peer observes `failed` and drains
-                // out instead of blocking forever.
+                // worker can release its peers. Invariant: when any
+                // worker panics inside `worker_rounds`, every live peer
+                // still has at least one barrier wait ahead of it — the
+                // round verdict is computed identically everywhere, and
+                // nothing between a Stop verdict and loop exit can
+                // panic — so the panicked worker contributes exactly one
+                // drain wait, after which every peer observes `failed`
+                // and drains out instead of blocking forever.
                 let rounds = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    worker_rounds(assigned, &plan, lookahead, &exchange)
+                    worker_rounds(assigned, &plan, exchange)
                 }));
                 match rounds {
                     Ok(None) => {} // a peer failed; its panic propagates
                     Ok(Some(shards)) => {
-                        let mut results = results.lock().expect("worker panicked");
                         for (s, mut st) in shards {
                             let run = st.run.take().expect("shard already finished");
-                            results[s] = Some((run.finish)(run.sim));
+                            let out = (run.finish)(run.sim);
+                            // SAFETY: shard indices are statically
+                            // partitioned across workers, so this thread
+                            // is the only writer of slot `s`; the scope
+                            // join below publishes the write before the
+                            // collecting thread reads it.
+                            unsafe { results.put(s, out) };
                         }
                     }
                     Err(p) => {
@@ -454,19 +697,24 @@ where
             });
         }
     });
-    let mut results = results.lock().expect("worker panicked");
-    results
-        .iter_mut()
-        .map(|r| r.take().expect("shard produced no result"))
-        .collect()
+    let stats = EpochStats {
+        epochs: exchange.epochs.load(Ordering::Relaxed),
+        windows_run: exchange.windows_run.load(Ordering::Relaxed),
+        windows_idle: exchange.windows_idle.load(Ordering::Relaxed),
+    };
+    let out = results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("shard produced no result"))
+        .collect();
+    (out, stats)
 }
 
-/// Run the barrier-epoch rounds for one worker's shards. Returns the
-/// shard states for finishing, or `None` if a peer worker failed.
+/// Run the event-driven epoch rounds for one worker's shards. Returns
+/// the shard states for finishing, or `None` if a peer worker failed.
 fn worker_rounds<M, R, F>(
     assigned: Vec<(usize, F)>,
     plan: &ShardPlan,
-    lookahead: SimDuration,
     exchange: &Exchange<M>,
 ) -> Option<Vec<(usize, ShardState<M, R>)>>
 where
@@ -474,6 +722,7 @@ where
     R: Send + 'static,
     F: FnOnce(ShardHandle<M>) -> ShardRun<M, R> + Send + 'static,
 {
+    let n = plan.shards;
     // Build this worker's shards locally (pinning their simulations to
     // this thread), in ascending shard order.
     let mut shards: Vec<(usize, ShardState<M, R>)> = assigned
@@ -491,74 +740,114 @@ where
             )
         })
         .collect();
+    // Reusable per-destination export buffers, one set per owned shard.
+    let mut scratch: Vec<Vec<Vec<Import<M>>>> = shards
+        .iter()
+        .map(|_| (0..n).map(|_| Vec::new()).collect())
+        .collect();
 
+    let mut rounds: u64 = 0;
+    let (mut wrun, mut widle) = (0u64, 0u64);
     loop {
-        // Phase A: publish exports produced by the previous window.
-        {
-            let mut inboxes = exchange.inboxes.lock().expect("peer worker panicked");
-            for (_, st) in &mut shards {
-                for export in st.handle.drain() {
-                    inboxes[export.to].push(export.import);
-                }
+        let parity = (rounds % 2) as usize;
+        rounds += 1;
+        // Publish this round's bank: per owned shard, exports grouped
+        // per destination (timestamp stored even when the batch is
+        // empty, so in-flight messages are never invisible to the
+        // termination check), local minimum, completion, and advice.
+        for ((s, st), bufs) in shards.iter_mut().zip(&mut scratch) {
+            for export in st.handle.drain() {
+                bufs[export.to].push(export.import);
             }
+            for (d, buf) in bufs.iter_mut().enumerate() {
+                if d == *s {
+                    continue;
+                }
+                let min_time = buf.iter().map(|i| i.time.as_nanos()).min();
+                exchange.cells[*s * n + d].publish(
+                    parity,
+                    std::mem::take(buf),
+                    min_time.unwrap_or(u64::MAX),
+                );
+            }
+            let run = st.run.as_ref().expect("shard already finished");
+            let local = st.local_min().map_or(u64::MAX, SimTime::as_nanos);
+            exchange.mins[parity][*s].store(local, Ordering::Release);
+            exchange.done[parity][*s].store((run.root_done)(), Ordering::Release);
+            let advice = run
+                .advise
+                .as_ref()
+                .map(|f| f(run.sim.now()))
+                .unwrap_or_default();
+            exchange.out_la[parity][*s].store(
+                advice.out_lookahead.map_or(0, SimDuration::as_nanos),
+                Ordering::Release,
+            );
+            exchange.floor[parity][*s].store(
+                advice.valid_until.map_or(u64::MAX, SimTime::as_nanos),
+                Ordering::Release,
+            );
         }
         exchange.barrier.wait();
         if exchange.failed.load(Ordering::SeqCst) {
             return None;
         }
 
-        // Phase B: absorb imports, report local minima and completion.
-        {
-            let mut inboxes = exchange.inboxes.lock().expect("peer worker panicked");
-            for (s, st) in &mut shards {
-                for imp in inboxes[*s].drain(..) {
-                    st.pending.push(std::cmp::Reverse(imp));
-                }
-            }
-        }
-        {
-            let mut mins = exchange.mins.lock().expect("peer worker panicked");
-            let mut done = exchange.done.lock().expect("peer worker panicked");
-            for (s, st) in &shards {
-                mins[*s] = st.local_min().map_or(u64::MAX, SimTime::as_nanos);
-                done[*s] = st.run.as_ref().is_none_or(|r| (r.root_done)());
-            }
-        }
-        exchange.barrier.wait();
-        if exchange.failed.load(Ordering::SeqCst) {
-            return None;
-        }
-
-        // Phase C: everyone derives the same verdict from the same data
-        // (no worker can reach next round's Phase B writes before all
-        // have passed the Phase B barrier above, so the reads are
-        // race-free and every worker agrees).
-        let verdict = {
-            let mins = exchange.mins.lock().expect("peer worker panicked");
-            let done = exchange.done.lock().expect("peer worker panicked");
-            compute_verdict(&mins, &done, lookahead)
-        };
-        match verdict {
-            Verdict::Stop => {
-                // Final barrier: keeps the wait count uniform so a worker
-                // that panicked this round can still drain everyone.
-                exchange.barrier.wait();
-                break;
-            }
-            Verdict::Advance(horizon_ns) => {
-                // Execute the half-open window [*, horizon): deliver the
-                // now-safe imports, then run strictly below the horizon.
-                let horizon = SimTime::from_nanos(horizon_ns);
-                let run_to = SimTime::from_nanos(horizon_ns.saturating_sub(1));
-                for (_, st) in &mut shards {
-                    st.deliver_until(horizon);
+        // Read the whole bank and derive the verdict. Every worker sees
+        // identical values — all stores happened before the barrier, and
+        // nobody writes this bank again until after the *next* barrier —
+        // so every worker computes the same verdict with no further
+        // coordination (and a Stop exits all workers together).
+        let read =
+            |v: &[AtomicU64]| -> Vec<u64> { v.iter().map(|a| a.load(Ordering::Acquire)).collect() };
+        let mins = read(&exchange.mins[parity]);
+        let out_la = read(&exchange.out_la[parity]);
+        let floors = read(&exchange.floor[parity]);
+        let done: Vec<bool> = exchange.done[parity]
+            .iter()
+            .map(|a| a.load(Ordering::Acquire))
+            .collect();
+        let arrivals: Vec<u64> = (0..n)
+            .map(|d| {
+                (0..n)
+                    .map(|s| exchange.cells[s * n + d].min_time(parity))
+                    .min()
+                    .unwrap_or(u64::MAX)
+            })
+            .collect();
+        match compute_verdict(plan, &mins, &arrivals, &done, &out_la, &floors) {
+            Verdict::Stop => break,
+            Verdict::Run(horizons) => {
+                for (d, st) in &mut shards {
+                    // Absorb every import published to this shard (the
+                    // banks must be empty again before their next use).
+                    for s in 0..n {
+                        if let Some(batch) = exchange.cells[s * n + *d].take(parity) {
+                            for imp in batch {
+                                st.pending.push(std::cmp::Reverse(imp));
+                            }
+                        }
+                    }
+                    let horizon_ns = horizons[*d];
+                    let local = st.local_min().map_or(u64::MAX, SimTime::as_nanos);
+                    if local >= horizon_ns {
+                        // Idle park: nothing before the horizon — leave
+                        // the executor untouched.
+                        widle += 1;
+                        continue;
+                    }
+                    wrun += 1;
+                    st.deliver_until(SimTime::from_nanos(horizon_ns));
                     let run = st.run.as_mut().expect("shard already finished");
-                    run.sim.run_until(run_to);
+                    run.sim
+                        .run_until(SimTime::from_nanos(horizon_ns.saturating_sub(1)));
                 }
             }
         }
     }
-
+    exchange.epochs.fetch_max(rounds, Ordering::Relaxed);
+    exchange.windows_run.fetch_add(wrun, Ordering::Relaxed);
+    exchange.windows_idle.fetch_add(widle, Ordering::Relaxed);
     Some(shards)
 }
 
@@ -567,25 +856,29 @@ where
 ///
 /// This is [`run_sharded`] with the degenerate edge-free plan: each job
 /// is a logical process with no mailboxes, so every job runs to
-/// completion in one epoch. Jobs are claimed dynamically for load
-/// balance; since they are mutually independent and individually
-/// deterministic, placement cannot affect any result.
+/// completion in one epoch. Jobs are claimed dynamically (a lock-free
+/// ticket counter) for load balance; since they are mutually
+/// independent and individually deterministic, placement cannot affect
+/// any result.
 ///
-/// `workers <= 1` runs every job inline on the calling thread, in order
-/// — byte-identical to a plain sequential loop.
+/// The pool is clamped to the machine's available parallelism:
+/// oversubscribing adds scheduler churn without any win (it showed up
+/// as a parallel *regression* on single-core runners). `workers <= 1`
+/// — requested or after clamping — runs every job inline on the calling
+/// thread, in order, byte-identical to a plain sequential loop.
 pub fn run_jobs<R, F>(workers: usize, jobs: Vec<F>) -> Vec<R>
 where
     R: Send + 'static,
     F: FnOnce() -> R + Send + 'static,
 {
-    if workers <= 1 || jobs.len() <= 1 {
+    let n = jobs.len();
+    let workers = workers.min(n).min(default_workers().max(1));
+    if workers <= 1 || n <= 1 {
         return jobs.into_iter().map(|j| j()).collect();
     }
-    let n = jobs.len();
-    let workers = workers.min(n);
-    let jobs: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let jobs = SlotVec::from_values(jobs);
     let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let results: SlotVec<R> = SlotVec::new(n);
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
@@ -593,22 +886,21 @@ where
                 if i >= n {
                     break;
                 }
-                let job = jobs[i]
-                    .lock()
-                    .expect("job poisoned")
-                    .take()
-                    .expect("job claimed twice");
-                *results[i].lock().expect("result poisoned") = Some(job());
+                // SAFETY: the fetch_add above hands index `i` to exactly
+                // one worker, so this thread is the sole owner of job and
+                // result slot `i`; the scope join publishes the result
+                // writes to the collecting thread below.
+                let job = unsafe { jobs.take(i) }.expect("job claimed twice");
+                let out = job();
+                // SAFETY: as above — slot `i` is owned by this worker.
+                unsafe { results.put(i, out) };
             });
         }
     });
     results
+        .into_inner()
         .into_iter()
-        .map(|r| {
-            r.into_inner()
-                .expect("worker panicked")
-                .expect("job produced no result")
-        })
+        .map(|r| r.expect("job produced no result"))
         .collect()
 }
 
@@ -629,9 +921,8 @@ mod tests {
     /// forwarding a counter to its right neighbour with 5 ms latency
     /// until the counter reaches `rounds`. Returns, per shard, the list
     /// of (arrival_ns, value) pairs it observed.
-    fn ring(shards: usize, rounds: u64) -> Vec<Vec<(u64, u64)>> {
+    fn ring_with(plan: ShardPlan, shards: usize, rounds: u64) -> Vec<Vec<(u64, u64)>> {
         let la = SimDuration::from_millis(5);
-        let plan = ShardPlan::connected(shards, la);
         let factories: Vec<_> = (0..shards)
             .map(|_| {
                 Box::new(move |h: ShardHandle<u64>| {
@@ -674,6 +965,7 @@ mod tests {
                             // root ran and no message of its is pending.
                             root.is_finished() && done.get()
                         }),
+                        advise: None,
                         finish: Box::new(move |_| finish_log.borrow().clone()),
                     }
                 })
@@ -681,6 +973,11 @@ mod tests {
             })
             .collect();
         run_sharded(plan, factories)
+    }
+
+    fn ring(shards: usize, rounds: u64) -> Vec<Vec<(u64, u64)>> {
+        let plan = ShardPlan::connected(shards, SimDuration::from_millis(5));
+        ring_with(plan, shards, rounds)
     }
 
     #[test]
@@ -714,6 +1011,168 @@ mod tests {
     }
 
     #[test]
+    fn per_pair_matrix_preserves_the_merged_log() {
+        // The ring only exports forward, so a matrix that marks every
+        // non-neighbour pair edge-free (and backward edges slow) must
+        // not change a single arrival.
+        let la = SimDuration::from_millis(5);
+        let n = 3;
+        let matrix: Vec<Vec<Option<SimDuration>>> = (0..n)
+            .map(|s| {
+                (0..n)
+                    .map(|d| if d == (s + 1) % n { Some(la) } else { None })
+                    .collect()
+            })
+            .collect();
+        let plan = ShardPlan::connected(n, la).with_lookahead_matrix(matrix);
+        let mut with_matrix: Vec<_> = ring_with(plan, n, 12).iter().flatten().copied().collect();
+        with_matrix.sort_unstable();
+        let mut plain: Vec<_> = ring(n, 12).iter().flatten().copied().collect();
+        plain.sort_unstable();
+        assert_eq!(with_matrix, plain);
+    }
+
+    #[test]
+    fn idle_gap_is_crossed_in_a_constant_number_of_epochs() {
+        // Two shards, 1 ms lookahead, no messages at all: shard 0 sleeps
+        // 10 s, shard 1 sleeps 10 µs. A fixed-stride engine needs ~10 000
+        // lookahead-sized epochs to march the floor to 10 s; the
+        // event-driven engine must jump there in a handful of rounds,
+        // parking shard 0 while shard 1's window runs.
+        let plan = ShardPlan::connected(2, SimDuration::from_millis(1));
+        let factories: Vec<_> = (0..2)
+            .map(|s| {
+                Box::new(move |_h: ShardHandle<()>| {
+                    let sim = Simulation::new(1);
+                    let root = sim.spawn(async move {
+                        if s == 0 {
+                            crate::sleep(SimDuration::from_secs(10)).await;
+                        } else {
+                            crate::sleep(SimDuration::from_micros(10)).await;
+                        }
+                    });
+                    ShardRun {
+                        sim,
+                        deliver: Box::new(|_, _| unreachable!("no messages")),
+                        root_done: Box::new(move || root.is_finished()),
+                        advise: None,
+                        finish: Box::new(|sim| sim.now().as_nanos()),
+                    }
+                }) as Box<dyn FnOnce(ShardHandle<()>) -> ShardRun<(), u64> + Send>
+            })
+            .collect();
+        let (out, stats) = run_sharded_stats(plan, factories);
+        assert_eq!(out[0], 10_000_000_000);
+        assert!(
+            stats.epochs <= 6,
+            "event-driven engine must jump the idle gap, took {} epochs",
+            stats.epochs
+        );
+        assert!(
+            stats.windows_idle >= 1,
+            "shard 0 should have parked at least once"
+        );
+    }
+
+    #[test]
+    fn verdict_lets_the_busy_shard_run_past_idle_peers() {
+        let plan = ShardPlan::connected(2, SimDuration::from_nanos(100));
+        let v = compute_verdict(
+            &plan,
+            &[10, u64::MAX],
+            &[u64::MAX; 2],
+            &[false; 2],
+            &[0; 2],
+            &[u64::MAX; 2],
+        );
+        // Shard 1 is idle but can be woken by shard 0 no earlier than
+        // 110; shard 0 therefore runs to 110 + 100 = 210 — double the
+        // fixed-stride window m + L.
+        assert_eq!(v, Verdict::Run(vec![210, 110]));
+    }
+
+    #[test]
+    fn verdict_counts_in_flight_arrivals() {
+        let plan = ShardPlan::connected(2, SimDuration::from_nanos(100));
+        // Both executors quiescent, but an import published this round
+        // reaches shard 1 at t=40: not a deadlock.
+        let v = compute_verdict(
+            &plan,
+            &[u64::MAX; 2],
+            &[u64::MAX, 40],
+            &[false; 2],
+            &[0; 2],
+            &[u64::MAX; 2],
+        );
+        assert_eq!(v, Verdict::Run(vec![140, 240]));
+    }
+
+    #[test]
+    fn verdict_stops_on_completion_and_on_deadlock() {
+        let plan = ShardPlan::connected(2, SimDuration::from_nanos(100));
+        let all_done = compute_verdict(
+            &plan,
+            &[5, 5],
+            &[u64::MAX; 2],
+            &[true, true],
+            &[0; 2],
+            &[u64::MAX; 2],
+        );
+        assert_eq!(all_done, Verdict::Stop);
+        let deadlock = compute_verdict(
+            &plan,
+            &[u64::MAX; 2],
+            &[u64::MAX; 2],
+            &[false, true],
+            &[0; 2],
+            &[u64::MAX; 2],
+        );
+        assert_eq!(deadlock, Verdict::Stop);
+    }
+
+    #[test]
+    fn verdict_clamps_at_the_advice_floor() {
+        let plan = ShardPlan::connected(2, SimDuration::from_nanos(100));
+        // Shard 0 promises 10 µs of lookahead, valid until t = 500.
+        let v = compute_verdict(
+            &plan,
+            &[10, 400],
+            &[u64::MAX; 2],
+            &[false; 2],
+            &[10_000, 0],
+            &[500, u64::MAX],
+        );
+        assert_eq!(v, Verdict::Run(vec![500, 500]));
+        // A floor at or below the global minimum degrades to the safe
+        // one-nanosecond window, never to a stalled one.
+        let v = compute_verdict(
+            &plan,
+            &[10, 400],
+            &[u64::MAX; 2],
+            &[false; 2],
+            &[10_000, 0],
+            &[10, u64::MAX],
+        );
+        assert_eq!(v, Verdict::Run(vec![11, 11]));
+    }
+
+    #[test]
+    fn pair_matrix_is_consulted_per_edge() {
+        let la = SimDuration::from_nanos(10);
+        let plan = ShardPlan::connected(3, la).with_lookahead_matrix(vec![
+            vec![None, Some(SimDuration::from_nanos(10)), None],
+            vec![Some(SimDuration::from_nanos(25)), None, Some(la)],
+            vec![None, Some(la), None],
+        ]);
+        assert_eq!(plan.pair_lookahead_ns(0, 1), 10);
+        assert_eq!(plan.pair_lookahead_ns(1, 0), 25);
+        assert_eq!(plan.pair_lookahead_ns(0, 2), u64::MAX);
+        // Without a matrix every pair falls back to the global value.
+        let plain = ShardPlan::connected(3, la);
+        assert_eq!(plain.pair_lookahead_ns(0, 2), 10);
+    }
+
+    #[test]
     fn single_shard_runs_inline_without_threads() {
         let plan = ShardPlan::connected(1, SimDuration::from_millis(1));
         let tid = std::thread::current().id();
@@ -729,6 +1188,7 @@ mod tests {
                     sim,
                     deliver: Box::new(|_, _| unreachable!("no peers")),
                     root_done: Box::new(move || root.is_finished()),
+                    advise: None,
                     finish: Box::new(|sim| sim.now().as_millis()),
                 }
             })
@@ -763,6 +1223,7 @@ mod tests {
                                 sim,
                                 deliver: Box::new(|_, _| {}),
                                 root_done: Box::new(move || root.is_finished()),
+                                advise: None,
                                 finish: Box::new(|_| ()),
                             }
                         })

@@ -212,6 +212,10 @@ struct LinkState {
     arrived: Notify,
     stats: RefCell<LinkStats>,
     fault: RefCell<LinkFault>,
+    /// True while the pump is mid-serialization of one packet. Together
+    /// with a non-empty `queue` this tells the adaptive-lookahead probe
+    /// that a downed link is still draining traffic it already accepted.
+    serializing: Cell<bool>,
 }
 
 /// Pre-resolved metric handles: the engine touches these once per packet,
@@ -299,6 +303,7 @@ impl Network {
                     arrived: Notify::new(),
                     stats: RefCell::new(LinkStats::default()),
                     fault: RefCell::new(LinkFault::default()),
+                    serializing: Cell::new(false),
                 }
             })
             .collect();
@@ -368,6 +373,51 @@ impl Network {
         export: Box<dyn Fn(NodeId, SimTime, Packet)>,
     ) {
         *self.inner.shard.borrow_mut() = Some(ShardHooks { owned, export });
+    }
+
+    /// A lower bound (in engine/physical time) on how far in the future
+    /// this replica's next cross-shard export can arrive, given the
+    /// *current* fault state of the outgoing cut links — the adaptive
+    /// widening of the static [`Topology::min_cut_latency`] bound.
+    ///
+    /// A cut link contributes its propagation delay while it can still
+    /// emit packets: it is up, or it is down but still draining traffic
+    /// it accepted before going down (bytes queued, or a packet mid
+    /// serialization — a downed link drops at the queue, never in
+    /// flight). Links that cannot emit are excluded, so when fault
+    /// events down the fast links on the cut the bound grows to the
+    /// slowest survivor; `None` means *no* outgoing cut link can emit at
+    /// all (the replica cannot export until a link comes back up).
+    ///
+    /// This is safe to feed to `mgrid_desim::shard::LookaheadAdvice`
+    /// **only together with a `valid_until` floor at the next fault
+    /// event that can re-enable a faster link** (see
+    /// `FaultPlan::link_change_times` in `mgrid-faults`): the bound
+    /// reflects this instant's link state and widens again on its own
+    /// once the probe is re-sampled.
+    ///
+    /// `group` assigns every node to a shard and `own` is this replica's
+    /// shard; only links leaving `own` are considered.
+    pub fn outgoing_cut_lookahead(
+        &self,
+        group: impl Fn(NodeId) -> usize,
+        own: usize,
+    ) -> Option<SimDuration> {
+        let topo = &self.inner.topo;
+        (0..topo.link_count())
+            .filter_map(|i| {
+                let (from, to) = topo.link_ends(LinkId(i));
+                if group(from) != own || group(to) == own {
+                    return None;
+                }
+                let link = &self.inner.links[i];
+                let draining = link.queued_bytes.get() > 0 || link.serializing.get();
+                if link.fault.borrow().down && !draining {
+                    return None;
+                }
+                Some(self.inner.clock.to_physical(topo.links[i].spec.delay))
+            })
+            .min()
     }
 
     /// Namespace this replica's reliable-transfer ids by `shard` (see
@@ -620,8 +670,10 @@ impl Network {
                 }
             };
             let tx = spec.tx_time(pkt.wire_bytes);
+            self.inner.links[lid.0].serializing.set(true);
             mgrid_desim::sleep(self.inner.clock.to_physical(tx)).await;
             let link = &self.inner.links[lid.0];
+            link.serializing.set(false);
             {
                 let mut st = link.stats.borrow_mut();
                 st.tx_packets += 1;

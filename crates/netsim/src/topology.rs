@@ -312,6 +312,22 @@ impl Topology {
             .map(|l| l.spec.delay)
             .min()
     }
+
+    /// The directed links crossing the cut induced by `group` — every
+    /// link whose endpoints fall in different groups, in link-id order.
+    /// These are exactly the links whose latency bounds a sharded run's
+    /// lookahead ([`Topology::min_cut_latency`] is their minimum delay)
+    /// and whose fault state drives adaptive lookahead
+    /// (`Network::outgoing_cut_lookahead`).
+    pub fn cut_links(&self, group: impl Fn(NodeId) -> usize) -> Vec<LinkId> {
+        (0..self.links.len())
+            .filter(|&i| {
+                let l = &self.links[i];
+                group(l.from) != group(l.to)
+            })
+            .map(LinkId)
+            .collect()
+    }
 }
 
 #[cfg(test)]

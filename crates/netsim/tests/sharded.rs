@@ -12,8 +12,8 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use mgrid_desim::shard::{run_sharded, ShardHandle, ShardPlan, ShardRun};
-use mgrid_desim::time::SimDuration;
+use mgrid_desim::shard::{run_sharded, LookaheadAdvice, ShardHandle, ShardPlan, ShardRun};
+use mgrid_desim::time::{SimDuration, SimTime};
 use mgrid_desim::vclock::VirtualClock;
 use mgrid_desim::{now, sleep_until, spawn, FxHashSet, Simulation};
 use mgrid_netsim::{
@@ -75,6 +75,7 @@ fn sequential() -> Log {
             sim,
             deliver: Box::new(|_, _| unreachable!("single shard has no peers")),
             root_done: Box::new(move || root.is_finished()),
+            advise: None,
             finish: Box::new(move |_| log.borrow().clone()),
         }
     };
@@ -148,6 +149,7 @@ fn shard_factory(s: usize, h: ShardHandle<Cross>) -> ShardRun<Cross, Log> {
             });
         }),
         root_done: Box::new(move || root.is_finished()),
+        advise: None,
         finish: Box::new(move |_| log.borrow().clone()),
     }
 }
@@ -187,4 +189,225 @@ fn split_run_matches_the_sequential_engine() {
 #[test]
 fn split_run_is_repeatable() {
     assert_eq!(sharded(), sharded());
+}
+
+// --- Adaptive lookahead under a scripted WAN outage -------------------
+
+/// The WAN link goes down at 60 ms and comes back at 200 ms — virtual
+/// instants every replica knows, so the scripted outage is applied
+/// identically in the sequential reference and in each shard.
+const DOWN_NS: u64 = 60_000_000;
+const UP_NS: u64 = 200_000_000;
+
+/// Spawn the scripted outage into the current simulation: both
+/// directions of the `ra`–`rb` long-haul link down during
+/// `[DOWN_NS, UP_NS)`.
+fn spawn_outage(net: &Network) {
+    let net = net.clone();
+    spawn(async move {
+        let wan = {
+            let topo = net.topology();
+            let ra = topo.node_by_name("ra").unwrap();
+            let rb = topo.node_by_name("rb").unwrap();
+            topo.links_between(ra, rb)
+        };
+        sleep_until(SimTime::from_nanos(DOWN_NS)).await;
+        for l in &wan {
+            net.set_link_down(*l, true);
+        }
+        sleep_until(SimTime::from_nanos(UP_NS)).await;
+        for l in &wan {
+            net.set_link_down(*l, false);
+        }
+    });
+}
+
+fn sequential_outage() -> Log {
+    let plan = ShardPlan::connected(1, WAN_DELAY);
+    let factory = |_h: ShardHandle<Cross>| {
+        let sim = Simulation::new(42);
+        let log: Rc<RefCell<Log>> = Rc::new(RefCell::new(Vec::new()));
+        let log2 = log.clone();
+        let root = sim.spawn(async move {
+            let (topo, [a, _ra, _rb, bb]) = build_topology();
+            let net = Network::new(topo, VirtualClock::identity(), NetParams::default());
+            spawn_outage(&net);
+            let rx = net.endpoint(bb).bind(7);
+            let tx = net.endpoint(a);
+            let recv = spawn(async move {
+                for _ in 0..MSGS {
+                    let m = rx.recv().await.unwrap();
+                    log2.borrow_mut().push((
+                        now().as_nanos(),
+                        *m.payload.downcast_ref::<u32>().unwrap(),
+                        m.size_bytes,
+                    ));
+                }
+            });
+            for i in 0..MSGS {
+                tx.send(bb, 7, 1, BYTES, Payload::new(i)).await.unwrap();
+            }
+            recv.await;
+        });
+        ShardRun {
+            sim,
+            deliver: Box::new(|_, _| unreachable!("single shard has no peers")),
+            root_done: Box::new(move || root.is_finished()),
+            advise: None,
+            finish: Box::new(move |_| log.borrow().clone()),
+        }
+    };
+    let mut out = run_sharded(
+        plan,
+        vec![Box::new(factory)
+            as Box<
+                dyn FnOnce(ShardHandle<Cross>) -> ShardRun<Cross, Log> + Send,
+            >],
+    );
+    out.pop().unwrap()
+}
+
+/// One shard of the outage run, publishing adaptive lookahead from the
+/// live fault state of its outgoing cut link: "cannot export" while the
+/// WAN hop is down and drained, re-examined (`valid_until`) at each
+/// scripted link-change instant.
+fn outage_shard_factory(s: usize, h: ShardHandle<Cross>) -> ShardRun<Cross, Log> {
+    let sim = Simulation::new(42);
+    let log: Rc<RefCell<Log>> = Rc::new(RefCell::new(Vec::new()));
+    let net_slot: Rc<RefCell<Option<Network>>> = Rc::new(RefCell::new(None));
+    let log2 = log.clone();
+    let net_slot2 = net_slot.clone();
+    let net_slot3 = net_slot.clone();
+    let root = sim.spawn(async move {
+        let (topo, nodes) = build_topology();
+        let net = Network::new(topo, VirtualClock::identity(), NetParams::default());
+        net.set_transfer_namespace(s as u64);
+        spawn_outage(&net);
+        let mine: [NodeId; 2] = if s == 0 {
+            [nodes[0], nodes[1]]
+        } else {
+            [nodes[2], nodes[3]]
+        };
+        let owned: FxHashSet<NodeId> = mine.into_iter().collect();
+        let site_a = [nodes[0], nodes[1]];
+        net.set_shard_ownership(
+            owned,
+            Box::new(move |node, at, pkt| {
+                let to = usize::from(!site_a.contains(&node));
+                h.export(to, at, (node, pkt));
+            }),
+        );
+        *net_slot2.borrow_mut() = Some(net.clone());
+        if s == 0 {
+            let tx = net.endpoint(nodes[0]);
+            for i in 0..MSGS {
+                tx.send(nodes[3], 7, 1, BYTES, Payload::new(i))
+                    .await
+                    .unwrap();
+            }
+        } else {
+            let rx = net.endpoint(nodes[3]).bind(7);
+            for _ in 0..MSGS {
+                let m = rx.recv().await.unwrap();
+                log2.borrow_mut().push((
+                    now().as_nanos(),
+                    *m.payload.downcast_ref::<u32>().unwrap(),
+                    m.size_bytes,
+                ));
+            }
+        }
+    });
+    ShardRun {
+        sim,
+        deliver: Box::new(move |sim, imp| {
+            let net = net_slot
+                .borrow()
+                .clone()
+                .expect("replica built in the first epoch");
+            sim.spawn(async move {
+                sleep_until(imp.time).await;
+                let (node, pkt) = imp.msg;
+                net.inject_arrival(node, pkt);
+            });
+        }),
+        root_done: Box::new(move || root.is_finished()),
+        advise: Some(Box::new(move |at| {
+            let Some(net) = net_slot3.borrow().clone() else {
+                // Replica not built yet: claim nothing beyond the plan.
+                return LookaheadAdvice::default();
+            };
+            let group = |n: NodeId| {
+                let topo = net.topology();
+                usize::from(topo.node_name(n) == "rb" || topo.node_name(n) == "b")
+            };
+            let out = net
+                .outgoing_cut_lookahead(group, s)
+                // No usable outgoing cut link: cannot export at all.
+                .unwrap_or(SimDuration::MAX);
+            let valid_until = [DOWN_NS, UP_NS]
+                .into_iter()
+                .find(|&t| t > at.as_nanos())
+                .map(SimTime::from_nanos);
+            LookaheadAdvice {
+                out_lookahead: Some(out),
+                valid_until,
+            }
+        })),
+        finish: Box::new(move |_| log.borrow().clone()),
+    }
+}
+
+fn sharded_outage() -> Log {
+    let plan = ShardPlan::connected(2, WAN_DELAY);
+    let factories: Vec<_> = (0..2)
+        .map(|s| {
+            Box::new(move |h| outage_shard_factory(s, h))
+                as Box<dyn FnOnce(ShardHandle<Cross>) -> ShardRun<Cross, Log> + Send>
+        })
+        .collect();
+    let out = run_sharded(plan, factories);
+    assert!(out[0].is_empty());
+    out[1].clone()
+}
+
+#[test]
+fn adaptive_lookahead_outage_run_matches_sequential() {
+    let seq = sequential_outage();
+    assert_eq!(seq.len(), MSGS as usize, "all messages recover eventually");
+    // The outage interrupts the transfer stream: at least one delivery
+    // lands after the link comes back, through the retransmission path.
+    assert!(
+        seq.iter().any(|e| e.0 > UP_NS),
+        "the outage must actually delay traffic (deliveries: {seq:?})"
+    );
+    let par = sharded_outage();
+    assert_eq!(
+        par, seq,
+        "adaptive-lookahead sharded run must stay byte-identical"
+    );
+}
+
+#[test]
+fn outgoing_cut_lookahead_tracks_fault_state() {
+    let mut sim = Simulation::new(7);
+    sim.block_on(async {
+        let (topo, [a, ra, rb, _bb]) = build_topology();
+        let net = Network::new(topo, VirtualClock::identity(), NetParams::default());
+        let site_a = [a, ra];
+        let group = move |n: NodeId| usize::from(!site_a.contains(&n));
+        // Only the WAN hop crosses the cut, in both directions.
+        assert_eq!(net.outgoing_cut_lookahead(group, 0), Some(WAN_DELAY));
+        assert_eq!(net.outgoing_cut_lookahead(group, 1), Some(WAN_DELAY));
+        let wan = net.topology().links_between(ra, rb);
+        for l in &wan {
+            net.set_link_down(*l, true);
+        }
+        // Down with nothing queued: the replica cannot export at all.
+        assert_eq!(net.outgoing_cut_lookahead(group, 0), None);
+        assert_eq!(net.outgoing_cut_lookahead(group, 1), None);
+        for l in &wan {
+            net.set_link_down(*l, false);
+        }
+        assert_eq!(net.outgoing_cut_lookahead(group, 0), Some(WAN_DELAY));
+    });
 }
