@@ -20,7 +20,19 @@ docs:
 
 # Determinism & safety static analysis (rule catalog: docs/LINTS.md).
 lint:
-    cargo run -p mgrid-lint -- --format human
+    cargo run -p mgrid-lint --bin mgrid-lint -- --format human
+
+# Apply mgrid-lint's mechanical rewrites (MG002 hasher swaps, MG007
+# collect-and-sort preludes). Run plain `-- --fix` first for a dry-run
+# diff.
+lint-fix:
+    cargo run -p mgrid-lint --bin mgrid-lint -- --fix --write
+
+# Dynamic memory-model check of the lock-free exchange cells under
+# Miri (nightly). Scoped to the desim exchange/slot protocol tests —
+# whole-workspace Miri would take hours.
+miri:
+    cargo +nightly miri test -p mgrid-desim --lib exchange::
 
 fmt:
     cargo fmt --all

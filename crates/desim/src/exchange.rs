@@ -77,12 +77,17 @@ impl<T> ExchangeCell<T> {
     /// batches.
     pub(crate) fn publish(&self, parity: usize, batch: Vec<T>, min_time: u64) {
         let bank = &self.banks[parity & 1];
+        // ORDERING: Release publishes the batch contents written before
+        // this store; paired with the Acquire load in `min_time`.
         bank.min_time.store(min_time, Ordering::Release);
         if batch.is_empty() {
             return;
         }
         let prev = bank
             .buf
+            // ORDERING: AcqRel — Release publishes the boxed batch to
+            // the consumer's swap in `take`; Acquire receives ownership
+            // of any leftover batch reclaimed below.
             .swap(Box::into_raw(Box::new(batch)), Ordering::AcqRel);
         if !prev.is_null() {
             // A leftover batch means the consumer stopped before
@@ -98,6 +103,8 @@ impl<T> ExchangeCell<T> {
     /// The minimum timestamp published into bank `parity` this round
     /// (`u64::MAX` = nothing in flight on this edge).
     pub(crate) fn min_time(&self, parity: usize) -> u64 {
+        // ORDERING: Acquire pairs with the Release store in `publish`,
+        // making the batch visible before its timestamp is trusted.
         self.banks[parity & 1].min_time.load(Ordering::Acquire)
     }
 
@@ -105,6 +112,9 @@ impl<T> ExchangeCell<T> {
     pub(crate) fn take(&self, parity: usize) -> Option<Vec<T>> {
         let prev = self.banks[parity & 1]
             .buf
+            // ORDERING: AcqRel — Acquire receives the batch published
+            // by `publish`'s Release swap; Release publishes the null
+            // so a same-slot republish can't observe a stale pointer.
             .swap(ptr::null_mut(), Ordering::AcqRel);
         if prev.is_null() {
             return None;
@@ -119,6 +129,9 @@ impl<T> ExchangeCell<T> {
 impl<T> Drop for ExchangeCell<T> {
     fn drop(&mut self) {
         for bank in &self.banks {
+            // ORDERING: AcqRel — same pairing as `take`; `&mut self`
+            // already guarantees exclusivity, the ordering is belt and
+            // suspenders for the reclaim.
             let p = bank.buf.swap(ptr::null_mut(), Ordering::AcqRel);
             if !p.is_null() {
                 // SAFETY: sole ownership, as in `take`.

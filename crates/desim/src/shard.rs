@@ -689,7 +689,12 @@ where
                         }
                     }
                     Err(p) => {
-                        exchange.failed.store(true, Ordering::SeqCst);
+                        // ORDERING: Release publishes the abort flag;
+                        // paired with the Acquire load every worker does
+                        // right after the epoch barrier. No payload
+                        // beyond the flag itself crosses here, so
+                        // SeqCst's total order would buy nothing.
+                        exchange.failed.store(true, Ordering::Release);
                         exchange.barrier.wait();
                         std::panic::resume_unwind(p);
                     }
@@ -698,8 +703,13 @@ where
         }
     });
     let stats = EpochStats {
+        // ORDERING: Relaxed — read after `thread::scope` joins every
+        // worker, which synchronizes all their writes; these are plain
+        // post-mortem counters, not a publication edge.
         epochs: exchange.epochs.load(Ordering::Relaxed),
+        // ORDERING: Relaxed — same join-synchronized read as above.
         windows_run: exchange.windows_run.load(Ordering::Relaxed),
+        // ORDERING: Relaxed — same join-synchronized read as above.
         windows_idle: exchange.windows_idle.load(Ordering::Relaxed),
     };
     let out = results
@@ -772,24 +782,36 @@ where
             }
             let run = st.run.as_ref().expect("shard already finished");
             let local = st.local_min().map_or(u64::MAX, SimTime::as_nanos);
+            // ORDERING: Release on the whole verdict bank (`mins`,
+            // `done`, `out_la`, `floor`); paired with the Acquire loads
+            // in the bank read below the barrier. The barrier already
+            // synchronizes same-epoch readers — Release covers the
+            // next-parity writer that overwrites the slot one epoch
+            // later without an intervening barrier on that slot.
             exchange.mins[parity][*s].store(local, Ordering::Release);
+            // ORDERING: Release — see `mins` above.
             exchange.done[parity][*s].store((run.root_done)(), Ordering::Release);
             let advice = run
                 .advise
                 .as_ref()
                 .map(|f| f(run.sim.now()))
                 .unwrap_or_default();
+            // ORDERING: Release — see `mins` above.
             exchange.out_la[parity][*s].store(
                 advice.out_lookahead.map_or(0, SimDuration::as_nanos),
                 Ordering::Release,
             );
+            // ORDERING: Release — see `mins` above.
             exchange.floor[parity][*s].store(
                 advice.valid_until.map_or(u64::MAX, SimTime::as_nanos),
                 Ordering::Release,
             );
         }
         exchange.barrier.wait();
-        if exchange.failed.load(Ordering::SeqCst) {
+        // ORDERING: Acquire pairs with the Release store in the worker
+        // panic path; the barrier already orders the epoch's writes, the
+        // Acquire only covers a store racing the barrier itself.
+        if exchange.failed.load(Ordering::Acquire) {
             return None;
         }
 
@@ -798,13 +820,18 @@ where
         // nobody writes this bank again until after the *next* barrier —
         // so every worker computes the same verdict with no further
         // coordination (and a Stop exits all workers together).
-        let read =
-            |v: &[AtomicU64]| -> Vec<u64> { v.iter().map(|a| a.load(Ordering::Acquire)).collect() };
+        let read = |v: &[AtomicU64]| -> Vec<u64> {
+            // ORDERING: Acquire pairs with the Release stores into the
+            // verdict bank above (the closure binding hides the field
+            // name from the static pairing audit).
+            v.iter().map(|a| a.load(Ordering::Acquire)).collect()
+        };
         let mins = read(&exchange.mins[parity]);
         let out_la = read(&exchange.out_la[parity]);
         let floors = read(&exchange.floor[parity]);
         let done: Vec<bool> = exchange.done[parity]
             .iter()
+            // ORDERING: Acquire — same verdict-bank pairing as `read`.
             .map(|a| a.load(Ordering::Acquire))
             .collect();
         let arrivals: Vec<u64> = (0..n)
@@ -845,8 +872,13 @@ where
             }
         }
     }
+    // ORDERING: Relaxed — statistics counters; the collecting thread
+    // reads them only after `thread::scope` joins this worker, and the
+    // RMWs themselves are atomic regardless of ordering.
     exchange.epochs.fetch_max(rounds, Ordering::Relaxed);
+    // ORDERING: Relaxed — see `epochs` above.
     exchange.windows_run.fetch_add(wrun, Ordering::Relaxed);
+    // ORDERING: Relaxed — see `epochs` above.
     exchange.windows_idle.fetch_add(widle, Ordering::Relaxed);
     Some(shards)
 }
@@ -882,6 +914,10 @@ where
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
+                // ORDERING: Relaxed — the ticket only needs atomicity
+                // of the claim; the job closures were published by
+                // `SlotVec::from_values` before the threads spawned, and
+                // results are published by the scope join.
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;

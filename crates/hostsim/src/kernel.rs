@@ -255,20 +255,24 @@ impl OsKernel {
             .all(|p| p.counter <= 0.0);
         if all_drained {
             // New epoch: everyone recharges; sleepers bank credit.
+            // mgrid-lint: allow(MG007) per-entry update commutes — visit order is irrelevant
             for p in inner.procs.values_mut() {
                 p.counter = p.counter / 2.0 + p.base;
             }
         }
         inner
             .procs
+            // The comparator below is total (credit, then last-ran,
+            // then pid), so the winner is unique and iteration order
+            // cannot affect the pick.
+            // mgrid-lint: allow(MG007) max_by with a total comparator picks a unique winner
             .iter()
             .filter(|(_, p)| runnable(p) && p.counter > 0.0)
             .max_by(|(pa, a), (pb, b)| {
                 // Highest credit wins; ties go to the least recently run,
                 // then to the lower pid — a deterministic round-robin.
                 a.counter
-                    .partial_cmp(&b.counter)
-                    .unwrap()
+                    .total_cmp(&b.counter)
                     .then(b.last_ran_seq.cmp(&a.last_ran_seq))
                     .then(pb.cmp(pa))
             })

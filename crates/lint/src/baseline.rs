@@ -1,0 +1,210 @@
+//! Accepted-findings baseline (`--baseline`, `--write-baseline`).
+//!
+//! A baseline lets a new deny-by-default rule land without a big-bang
+//! cleanup: the file records, per `(code, path)`, how many findings are
+//! *accepted* legacy debt. A scan then suppresses up to that many
+//! findings for the key (lowest lines first — the stable ones) and
+//! still fails on anything beyond the recorded count, so new
+//! regressions in an already-dirty file are caught the day they land.
+//!
+//! Format — one entry per line, `#` comments allowed:
+//!
+//! ```text
+//! # mgrid-lint baseline — accepted legacy findings
+//! MG008 crates/hostsim/src/kernel.rs 4
+//! ```
+//!
+//! The file is regenerated with `--write-baseline` and should shrink
+//! monotonically; entries that no longer match anything are reported as
+//! stale so the debt list never rots.
+
+use std::collections::BTreeMap;
+
+use crate::report::Finding;
+
+/// Parsed baseline: accepted finding counts per `(code, path)`.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Baseline {
+    /// `(code, path)` → accepted count.
+    pub entries: BTreeMap<(String, String), usize>,
+}
+
+/// What applying a baseline to a scan did.
+#[derive(Debug, Default)]
+pub struct BaselineOutcome {
+    /// Findings suppressed as accepted legacy debt.
+    pub suppressed: usize,
+    /// Entries whose accepted count exceeds what the scan found:
+    /// `(code, path, unused_count)`. Stale debt should be removed.
+    pub stale: Vec<(String, String, usize)>,
+}
+
+impl Baseline {
+    /// Parse baseline text. Unknown codes and malformed lines are hard
+    /// errors, like the config: a typo must not silently accept debt.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut b = Baseline::default();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (Some(code), Some(path), Some(count), None) =
+                (parts.next(), parts.next(), parts.next(), parts.next())
+            else {
+                return Err(format!(
+                    "baseline line {}: expected `CODE path count`, got {raw:?}",
+                    idx + 1
+                ));
+            };
+            if !crate::rules::KNOWN_CODES.contains(&code) {
+                return Err(format!(
+                    "baseline line {}: unknown rule code {code:?}",
+                    idx + 1
+                ));
+            }
+            let count: usize = count
+                .parse()
+                .map_err(|_| format!("baseline line {}: bad count {count:?}", idx + 1))?;
+            if count == 0 {
+                return Err(format!(
+                    "baseline line {}: zero-count entry — delete it instead",
+                    idx + 1
+                ));
+            }
+            *b.entries
+                .entry((code.to_string(), path.to_string()))
+                .or_insert(0) += count;
+        }
+        Ok(b)
+    }
+
+    /// Render a baseline that accepts exactly `findings` (MG000 findings
+    /// are never baselined: suppression hygiene has no legacy).
+    pub fn render(findings: &[Finding]) -> String {
+        let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for f in findings {
+            if f.code == "MG000" {
+                continue;
+            }
+            *counts
+                .entry((f.code.to_string(), f.path.clone()))
+                .or_insert(0) += 1;
+        }
+        let mut s = String::from(
+            "# mgrid-lint baseline — accepted legacy findings (docs/LINTS.md).\n\
+             # Regenerate with `mgrid-lint --write-baseline`; this list should\n\
+             # only ever shrink.\n",
+        );
+        for ((code, path), n) in counts {
+            s.push_str(&format!("{code} {path} {n}\n"));
+        }
+        s
+    }
+
+    /// Suppress accepted findings in place. `findings` must be sorted by
+    /// `(path, line)` per path (the workspace scan's order): the lowest
+    /// lines are suppressed first so a *new* finding appended to an
+    /// already-dirty file is the one that survives.
+    pub fn apply(&self, findings: &mut Vec<Finding>) -> BaselineOutcome {
+        let mut budget = self.entries.clone();
+        let mut suppressed = 0usize;
+        findings.retain(|f| {
+            if f.code == "MG000" {
+                return true;
+            }
+            match budget.get_mut(&(f.code.to_string(), f.path.clone())) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    suppressed += 1;
+                    false
+                }
+                _ => true,
+            }
+        });
+        let stale = budget
+            .into_iter()
+            .filter(|(_, n)| *n > 0)
+            .map(|((code, path), n)| (code, path, n))
+            .collect();
+        BaselineOutcome { suppressed, stale }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(code: &'static str, path: &str, line: u32) -> Finding {
+        Finding {
+            code,
+            path: path.to_string(),
+            line,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn parse_render_round_trip() {
+        let findings = vec![
+            finding("MG008", "a.rs", 3),
+            finding("MG008", "a.rs", 9),
+            finding("MG007", "b.rs", 1),
+        ];
+        let text = Baseline::render(&findings);
+        let b = Baseline::parse(&text).unwrap();
+        assert_eq!(b.entries[&("MG008".into(), "a.rs".into())], 2);
+        assert_eq!(b.entries[&("MG007".into(), "b.rs".into())], 1);
+        // Round trip: applying the rendered baseline suppresses exactly
+        // the rendered findings.
+        let mut fs = findings.clone();
+        let out = b.apply(&mut fs);
+        assert_eq!(out.suppressed, 3);
+        assert!(fs.is_empty());
+        assert!(out.stale.is_empty());
+    }
+
+    #[test]
+    fn new_findings_survive_the_baseline() {
+        let b = Baseline::parse("MG008 a.rs 1\n").unwrap();
+        let mut fs = vec![finding("MG008", "a.rs", 3), finding("MG008", "a.rs", 9)];
+        let out = b.apply(&mut fs);
+        assert_eq!(out.suppressed, 1);
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].line, 9); // the lowest line was the accepted one
+    }
+
+    #[test]
+    fn stale_entries_are_reported() {
+        let b = Baseline::parse("MG008 gone.rs 2\n").unwrap();
+        let mut fs = vec![finding("MG007", "b.rs", 1)];
+        let out = b.apply(&mut fs);
+        assert_eq!(out.suppressed, 0);
+        assert_eq!(fs.len(), 1);
+        assert_eq!(out.stale, vec![("MG008".into(), "gone.rs".into(), 2)]);
+    }
+
+    #[test]
+    fn mg000_is_never_baselined() {
+        let text = Baseline::render(&[finding("MG000", "a.rs", 1)]);
+        assert!(!text.contains("MG000"));
+        let b = Baseline::parse("MG008 a.rs 1\n").unwrap();
+        let mut fs = vec![finding("MG000", "a.rs", 1)];
+        assert_eq!(b.apply(&mut fs).suppressed, 0);
+        assert_eq!(fs.len(), 1);
+    }
+
+    #[test]
+    fn malformed_baselines_are_errors() {
+        assert!(Baseline::parse("MG008 a.rs\n").is_err());
+        assert!(Baseline::parse("MG999 a.rs 1\n").is_err());
+        assert!(Baseline::parse("MG008 a.rs zero\n").is_err());
+        assert!(Baseline::parse("MG008 a.rs 0\n").is_err());
+        assert!(Baseline::parse("MG008 a.rs 1 extra\n").is_err());
+        assert!(Baseline::parse("# just comments\n\n")
+            .unwrap()
+            .entries
+            .is_empty());
+    }
+}

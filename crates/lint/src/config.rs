@@ -48,6 +48,9 @@ pub struct Config {
     /// Per-file overrides, keyed by workspace-relative path. Matched
     /// before crate rules; see [`Config::code_enabled_at`].
     pub files: BTreeMap<String, CrateRules>,
+    /// Default baseline file (workspace-relative), applied unless the
+    /// CLI overrides it with `--baseline`/`--no-baseline`.
+    pub baseline: Option<String>,
 }
 
 impl Default for Config {
@@ -63,6 +66,7 @@ impl Default for Config {
                 .collect(),
             crates: BTreeMap::new(),
             files: BTreeMap::new(),
+            baseline: None,
         }
     }
 }
@@ -131,6 +135,10 @@ impl Config {
                 .split_once('=')
                 .okor(lineno, "expected `key = value`")?;
             let key = key.trim();
+            if (section.as_str(), key) == ("lint", "baseline") {
+                cfg.baseline = Some(parse_string(value.trim(), lineno)?);
+                continue;
+            }
             let values = parse_string_array(value.trim(), lineno)?;
             match (section.as_str(), key) {
                 ("lint", "sim-crates") => cfg.sim_crates = values,
@@ -226,6 +234,17 @@ fn strip_comment(line: &str) -> &str {
         Some(i) => &line[..i],
         None => line,
     }
+}
+
+fn parse_string(v: &str, lineno: usize) -> Result<String, ConfigError> {
+    v.strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .filter(|s| !s.is_empty())
+        .map(|s| s.to_string())
+        .ok_or_else(|| ConfigError {
+            line: lineno,
+            message: format!("expected a non-empty quoted string, got {v:?}"),
+        })
 }
 
 fn parse_string_array(v: &str, lineno: usize) -> Result<Vec<String>, ConfigError> {
@@ -352,6 +371,14 @@ mod tests {
         assert!(Config::parse("[lint.files.\"\"]\nallow = [\"MG005\"]\n").is_err());
         assert!(Config::parse("[lint.files.\"x.rs\"]\nbogus = [\"MG005\"]\n").is_err());
         assert!(Config::parse("[lint.files.\"x.rs\"]\nallow = [\"MG999\"]\n").is_err());
+    }
+
+    #[test]
+    fn baseline_key_parses() {
+        let c = Config::parse("[lint]\nbaseline = \"mgrid-lint.baseline\"\n").unwrap();
+        assert_eq!(c.baseline.as_deref(), Some("mgrid-lint.baseline"));
+        assert!(Config::parse("[lint]\nbaseline = \"\"\n").is_err());
+        assert!(Config::parse("[lint]\nbaseline = unquoted\n").is_err());
     }
 
     #[test]

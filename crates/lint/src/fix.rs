@@ -1,0 +1,397 @@
+//! Mechanical rewrites for a subset of findings (`--fix`).
+//!
+//! Fixes are deliberately conservative line-level rewrites — the two
+//! classes where the correct edit is mechanical:
+//!
+//! * **MG002** — swap a default-hasher container for the deterministic
+//!   one: `use std::collections::HashMap [as X]` becomes
+//!   `use mgrid_desim::FxHashMap [as X]` (`crate::FxHashMap` inside
+//!   desim itself), type mentions `HashMap<K, V>` become
+//!   `FxHashMap<K, V>`, and `::new()` becomes `::default()` (the only
+//!   constructor a custom-hasher map shares). Alias-aware: a `Map::new()`
+//!   under `use ... as Map` keeps its local name, because the rewritten
+//!   import keeps the `as Map`.
+//! * **MG007** — sort-before-iterate: a `for PAT in X.iter() {` header
+//!   (also `.keys()`/`.values()`) gains a collect-and-sort prelude and
+//!   iterates the sorted `Vec` instead.
+//!
+//! Everything else — grouped imports, `with_capacity`, iterator chains —
+//! is reported as not auto-fixable rather than guessed at. The default
+//! mode renders a dry-run unified diff; `--write` applies it. Fixing is
+//! idempotent: the rewritten code no longer matches any rule, so a
+//! second `--fix` produces an empty diff (tested in
+//! `tests/engine.rs`).
+
+use std::collections::BTreeMap;
+
+use crate::report::Finding;
+use crate::rules::FileAnalysis;
+
+/// One line-level edit: replace `old_n` lines starting at 0-based
+/// `line0` with `new` lines.
+#[derive(Debug, Clone)]
+pub struct Edit {
+    /// 0-based first line replaced.
+    pub line0: usize,
+    /// Number of original lines replaced (always 1 today).
+    pub old_n: usize,
+    /// Replacement lines.
+    pub new: Vec<String>,
+}
+
+/// All edits for one file.
+#[derive(Debug)]
+pub struct FileFix {
+    /// Workspace-relative path.
+    pub path: String,
+    /// Original lines (for the diff).
+    pub old_lines: Vec<String>,
+    /// Edits, ascending by line.
+    pub edits: Vec<Edit>,
+}
+
+impl FileFix {
+    /// The rewritten source.
+    pub fn new_src(&self) -> String {
+        let mut out: Vec<&str> = Vec::new();
+        let mut i = 0usize;
+        for e in &self.edits {
+            while i < e.line0 {
+                out.push(&self.old_lines[i]);
+                i += 1;
+            }
+            for l in &e.new {
+                out.push(l);
+            }
+            i += e.old_n;
+        }
+        while i < self.old_lines.len() {
+            out.push(&self.old_lines[i]);
+            i += 1;
+        }
+        let mut s = out.join("\n");
+        s.push('\n');
+        s
+    }
+}
+
+/// The outcome of planning fixes for a finding set.
+#[derive(Debug, Default)]
+pub struct FixPlan {
+    /// Per-file edit lists (files with at least one edit).
+    pub files: Vec<FileFix>,
+    /// Findings fixed by the plan.
+    pub fixed: usize,
+    /// MG002/MG007 findings no mechanical rewrite was safe for.
+    pub unfixable: Vec<Finding>,
+}
+
+/// Plan fixes for `findings` against the analyzed sources. Only MG002
+/// and MG007 have mechanical rewrites; other codes are skipped (neither
+/// fixed nor reported unfixable).
+pub fn plan_fixes(analyses: &[FileAnalysis], findings: &[Finding]) -> FixPlan {
+    let by_path: BTreeMap<&str, &FileAnalysis> =
+        analyses.iter().map(|a| (a.path.as_str(), a)).collect();
+    let mut plan = FixPlan::default();
+    let mut per_file: BTreeMap<&str, Vec<&Finding>> = BTreeMap::new();
+    for f in findings {
+        if f.code == "MG002" || f.code == "MG007" {
+            per_file.entry(f.path.as_str()).or_default().push(f);
+        }
+    }
+    for (path, fs) in per_file {
+        let Some(fa) = by_path.get(path) else {
+            plan.unfixable.extend(fs.into_iter().cloned());
+            continue;
+        };
+        let old_lines: Vec<String> = fa.src.lines().map(|l| l.to_string()).collect();
+        let mut edits: Vec<Edit> = Vec::new();
+        for f in fs {
+            let line0 = (f.line as usize).saturating_sub(1);
+            if line0 >= old_lines.len() || edits.iter().any(|e| e.line0 == line0) {
+                plan.unfixable.push(f.clone());
+                continue;
+            }
+            let line = &old_lines[line0];
+            let new = match f.code {
+                "MG002" => fix_mg002(line, &fa.crate_name, &f.message, fa),
+                "MG007" => fix_mg007(line),
+                _ => None,
+            };
+            match new {
+                Some(new) => {
+                    edits.push(Edit {
+                        line0,
+                        old_n: 1,
+                        new,
+                    });
+                    plan.fixed += 1;
+                }
+                None => plan.unfixable.push(f.clone()),
+            }
+        }
+        if !edits.is_empty() {
+            edits.sort_by_key(|e| e.line0);
+            plan.files.push(FileFix {
+                path: path.to_string(),
+                old_lines,
+                edits,
+            });
+        }
+    }
+    plan
+}
+
+/// Render the plan as a unified-style dry-run diff.
+pub fn render_diff(plan: &FixPlan) -> String {
+    let mut s = String::new();
+    for file in &plan.files {
+        s.push_str(&format!("--- a/{}\n+++ b/{}\n", file.path, file.path));
+        let mut offset = 0i64;
+        for e in &file.edits {
+            s.push_str(&format!(
+                "@@ -{},{} +{},{} @@\n",
+                e.line0 + 1,
+                e.old_n,
+                e.line0 as i64 + 1 + offset,
+                e.new.len()
+            ));
+            for l in &file.old_lines[e.line0..e.line0 + e.old_n] {
+                s.push_str(&format!("-{l}\n"));
+            }
+            for l in &e.new {
+                s.push_str(&format!("+{l}\n"));
+            }
+            offset += e.new.len() as i64 - e.old_n as i64;
+        }
+    }
+    s
+}
+
+/// MG002: hasher swap on one line. Returns the replacement line, or
+/// `None` when no mechanical rewrite is safe.
+fn fix_mg002(
+    line: &str,
+    crate_name: &str,
+    message: &str,
+    fa: &FileAnalysis,
+) -> Option<Vec<String>> {
+    let container = if message.contains("`HashMap`") {
+        "HashMap"
+    } else if message.contains("`HashSet`") {
+        "HashSet"
+    } else {
+        return None;
+    };
+    let fx_path = if crate_name == "desim" {
+        format!("crate::Fx{container}")
+    } else {
+        format!("mgrid_desim::Fx{container}")
+    };
+    let std_path = format!("std::collections::{container}");
+    let trimmed = line.trim_start();
+    if trimmed.starts_with("use ") || trimmed.starts_with("pub use ") {
+        // Grouped imports need structural surgery — report, don't guess.
+        if line.contains('{') {
+            return None;
+        }
+        if !line.contains(&std_path) {
+            return None;
+        }
+        return Some(vec![line.replace(&std_path, &fx_path)]);
+    }
+    // Usage line. Work out which word names the container here: the
+    // container itself, a fully-qualified path, or a local alias.
+    let mut out = line.to_string();
+    let mut word = None;
+    if out.contains(&std_path) {
+        out = out.replace(&std_path, &fx_path);
+        word = Some(fx_path.clone());
+    } else if contains_word(&out, container) {
+        if out.contains(&format!("{container}::with_capacity")) {
+            return None; // no `with_capacity` on a custom-hasher map
+        }
+        out = replace_word(&out, container, &format!("Fx{container}"));
+        word = Some(format!("Fx{container}"));
+    } else {
+        for (local, entry) in &fa.tree.uses.entries {
+            if entry.path.ends_with(&format!("::{container}")) && contains_word(&out, local) {
+                if out.contains(&format!("{local}::with_capacity")) {
+                    return None;
+                }
+                word = Some(local.clone());
+                break;
+            }
+        }
+    }
+    let word = word?;
+    let with_new = format!("{word}::new()");
+    if out.contains(&with_new) {
+        out = out.replace(&with_new, &format!("{word}::default()"));
+    }
+    if out == line {
+        return None;
+    }
+    Some(vec![out])
+}
+
+/// MG007: sort-before-iterate for a plain `for PAT in X.iter() {`
+/// header (`.keys()`/`.values()` too). Returns the 3-line replacement.
+fn fix_mg007(line: &str) -> Option<Vec<String>> {
+    let trimmed = line.trim_start();
+    let indent = &line[..line.len() - trimmed.len()];
+    if !trimmed.starts_with("for ") || !trimmed.trim_end().ends_with('{') {
+        return None;
+    }
+    let body = trimmed.trim_end().trim_end_matches('{').trim_end();
+    let (pat, rest) = body.strip_prefix("for ")?.split_once(" in ")?;
+    let method = ["iter", "keys", "values"]
+        .iter()
+        .find(|m| rest.ends_with(&format!(".{m}()")))?;
+    let container = rest.strip_suffix(&format!(".{method}()"))?;
+    if container.contains('(') || container.contains('{') {
+        return None; // only plain receivers — no chains
+    }
+    Some(vec![
+        format!("{indent}let mut __sorted: Vec<_> = {container}.{method}().collect();"),
+        format!("{indent}__sorted.sort();"),
+        format!("{indent}for {pat} in __sorted {{"),
+    ])
+}
+
+/// Does `s` contain `word` with non-identifier characters (or edges) on
+/// both sides?
+fn contains_word(s: &str, word: &str) -> bool {
+    find_word(s, word, 0).is_some()
+}
+
+fn is_ident_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+fn find_word(s: &str, word: &str, from: usize) -> Option<usize> {
+    let bytes = s.as_bytes();
+    let mut start = from;
+    while let Some(pos) = s[start..].find(word) {
+        let at = start + pos;
+        let before_ok = at == 0 || !is_ident_char(bytes[at - 1]);
+        let after = at + word.len();
+        let after_ok = after >= bytes.len() || !is_ident_char(bytes[after]);
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        start = at + 1;
+    }
+    None
+}
+
+/// Replace every word-boundary occurrence of `word` in `s`.
+fn replace_word(s: &str, word: &str, with: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut i = 0usize;
+    while let Some(at) = find_word(s, word, i) {
+        out.push_str(&s[i..at]);
+        out.push_str(with);
+        i = at + word.len();
+    }
+    out.push_str(&s[i..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::rules::{analyze, lint_crate};
+
+    fn plan_for(src: &str) -> (FixPlan, FileAnalysis) {
+        let fa = analyze("f.rs", "netsim", src);
+        let findings = lint_crate(&[&fa], &Config::default());
+        let analyses = vec![analyze("f.rs", "netsim", src)];
+        (plan_fixes(&analyses, &findings), fa)
+    }
+
+    fn fixed_src(src: &str) -> String {
+        let (plan, _) = plan_for(src);
+        assert_eq!(plan.files.len(), 1, "expected a fix for {src:?}");
+        plan.files[0].new_src()
+    }
+
+    #[test]
+    fn mg002_import_and_new_rewritten() {
+        let src = "use std::collections::HashMap;\nfn f() { let m = HashMap::new(); }\n";
+        let out = fixed_src(src);
+        assert!(out.contains("use mgrid_desim::FxHashMap;"));
+        assert!(out.contains("let m = FxHashMap::default();"));
+    }
+
+    #[test]
+    fn mg002_alias_keeps_the_local_name() {
+        let src = "use std::collections::HashMap as Map;\nfn f() { let m = Map::new(); }\n";
+        let out = fixed_src(src);
+        assert!(out.contains("use mgrid_desim::FxHashMap as Map;"));
+        assert!(out.contains("let m = Map::default();"));
+    }
+
+    #[test]
+    fn mg002_desim_uses_crate_path() {
+        let fa = analyze(
+            "crates/desim/src/x.rs",
+            "desim",
+            "use std::collections::HashSet;\n",
+        );
+        let findings = lint_crate(&[&fa], &Config::default());
+        let plan = plan_fixes(std::slice::from_ref(&fa), &findings);
+        assert!(plan.files[0].new_src().contains("use crate::FxHashSet;"));
+    }
+
+    #[test]
+    fn mg007_for_loop_gains_sort_prelude() {
+        let src = "struct S { procs: FxHashMap<u64, u32> }\n\
+                   fn f(s: &S) {\n    for (k, v) in s.procs.iter() {\n        emit(k, v);\n    }\n}\n";
+        let out = fixed_src(src);
+        assert!(out.contains("let mut __sorted: Vec<_> = s.procs.iter().collect();"));
+        assert!(out.contains("    __sorted.sort();"));
+        assert!(out.contains("    for (k, v) in __sorted {"));
+    }
+
+    #[test]
+    fn fixes_are_idempotent() {
+        for src in [
+            "use std::collections::HashMap as Map;\nfn f() { let m = Map::new(); }\n",
+            "struct S { procs: FxHashMap<u64, u32> }\n\
+             fn f(s: &S) {\n    for (k, v) in s.procs.iter() {\n        emit(k, v);\n    }\n}\n",
+        ] {
+            let out = fixed_src(src);
+            // Re-analyze the fixed source: no findings, so no further
+            // fixes — running --fix twice is a no-op.
+            let fa = analyze("f.rs", "netsim", &out);
+            let findings = lint_crate(&[&fa], &Config::default());
+            assert!(
+                findings.is_empty(),
+                "fixed source still flags: {findings:?}"
+            );
+            let plan = plan_fixes(std::slice::from_ref(&fa), &findings);
+            assert!(plan.files.is_empty());
+            assert!(render_diff(&plan).is_empty());
+        }
+    }
+
+    #[test]
+    fn grouped_imports_and_chains_are_unfixable() {
+        let src = "use std::collections::{HashMap, VecDeque};\n";
+        let (plan, _) = plan_for(src);
+        assert!(plan.files.is_empty());
+        assert_eq!(plan.unfixable.len(), 1);
+    }
+
+    #[test]
+    fn diff_shows_old_and_new_lines() {
+        let src = "use std::collections::HashMap;\n";
+        let (plan, _) = plan_for(src);
+        let d = render_diff(&plan);
+        assert!(d.contains("--- a/f.rs"));
+        assert!(d.contains("-use std::collections::HashMap;"));
+        assert!(d.contains("+use mgrid_desim::FxHashMap;"));
+    }
+}

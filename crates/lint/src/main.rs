@@ -2,15 +2,21 @@
 //!
 //! ```text
 //! mgrid-lint [--root DIR] [--format human|json] [--config FILE]
+//!            [--baseline FILE | --no-baseline] [--write-baseline]
+//!            [--fix [--write]]
 //! ```
 //!
 //! Exits 0 when the tree is clean, 1 on findings, 2 on usage or I/O
-//! errors — so CI can gate on it directly.
+//! errors — so CI can gate on it directly. A baseline (from `--baseline`
+//! or the config's `baseline` key) suppresses accepted legacy findings;
+//! `--write-baseline` regenerates the file from the current scan.
+//! `--fix` prints a dry-run diff of the mechanical rewrites; add
+//! `--write` to apply them.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use mgrid_lint::{lint_workspace, render, Config, Format};
+use mgrid_lint::{analyze_workspace, fix, render, Baseline, Config, Format};
 
 fn main() -> ExitCode {
     match run() {
@@ -32,6 +38,11 @@ fn run() -> Result<bool, String> {
     let mut format = Format::Human;
     let mut root: Option<PathBuf> = None;
     let mut config_path: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut no_baseline = false;
+    let mut write_baseline = false;
+    let mut do_fix = false;
+    let mut do_write = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -47,10 +58,27 @@ fn run() -> Result<bool, String> {
             "--config" => {
                 config_path = Some(PathBuf::from(args.next().ok_or("--config needs a value")?))
             }
+            "--baseline" => {
+                baseline_path = Some(PathBuf::from(
+                    args.next().ok_or("--baseline needs a value")?,
+                ))
+            }
+            "--no-baseline" => no_baseline = true,
+            "--write-baseline" => write_baseline = true,
+            "--fix" => do_fix = true,
+            "--write" => do_write = true,
             "--help" | "-h" => {
                 println!(
                     "mgrid-lint: determinism & safety static analysis for MicroGrid-rs\n\n\
-                     USAGE: mgrid-lint [--root DIR] [--format human|json] [--config FILE]\n\n\
+                     USAGE: mgrid-lint [--root DIR] [--format human|json] [--config FILE]\n\
+                     \u{20}                 [--baseline FILE | --no-baseline] [--write-baseline]\n\
+                     \u{20}                 [--fix [--write]]\n\n\
+                     --baseline FILE   suppress findings accepted in FILE (default: the\n\
+                     \u{20}                 config's `baseline` key, if set)\n\
+                     --no-baseline     ignore any configured baseline\n\
+                     --write-baseline  regenerate the baseline from this scan and exit 0\n\
+                     --fix             print a dry-run diff of mechanical rewrites\n\
+                     --write           with --fix: apply the rewrites in place\n\n\
                      Exit status: 0 clean, 1 findings, 2 error.\n\
                      Rule catalog: docs/LINTS.md; config: mgrid-lint.toml."
                 );
@@ -58,6 +86,12 @@ fn run() -> Result<bool, String> {
             }
             other => return Err(format!("unknown argument {other:?} (try --help)")),
         }
+    }
+    if do_write && !do_fix {
+        return Err("--write only makes sense with --fix".into());
+    }
+    if no_baseline && baseline_path.is_some() {
+        return Err("--no-baseline conflicts with --baseline".into());
     }
 
     let root = match root {
@@ -73,9 +107,78 @@ fn run() -> Result<bool, String> {
         None => Config::load(&root).map_err(|e| e.to_string())?,
     };
 
-    let result = lint_workspace(&root, &config).map_err(|e| format!("scanning workspace: {e}"))?;
-    print!("{}", render(&result.findings, result.files_scanned, format));
-    Ok(result.findings.is_empty())
+    let ws = analyze_workspace(&root, &config).map_err(|e| format!("scanning workspace: {e}"))?;
+    let mut findings = ws.findings.clone();
+    let files_scanned = ws.analyses.len();
+
+    // Resolve the baseline: CLI flag beats config key; --no-baseline
+    // beats both. Paths are workspace-relative unless absolute.
+    let baseline_file = if no_baseline {
+        None
+    } else {
+        baseline_path.or_else(|| config.baseline.as_ref().map(PathBuf::from))
+    };
+    let baseline_file = baseline_file.map(|p| if p.is_absolute() { p } else { root.join(p) });
+
+    if write_baseline {
+        let p = baseline_file
+            .ok_or("--write-baseline needs --baseline or a `baseline` key in the config")?;
+        std::fs::write(&p, Baseline::render(&findings))
+            .map_err(|e| format!("writing {}: {e}", p.display()))?;
+        eprintln!(
+            "mgrid-lint: wrote baseline {} accepting {} finding(s)",
+            p.display(),
+            findings.iter().filter(|f| f.code != "MG000").count()
+        );
+        return Ok(true);
+    }
+
+    let mut suppressed = 0usize;
+    if let Some(p) = &baseline_file {
+        match std::fs::read_to_string(p) {
+            Ok(text) => {
+                let b = Baseline::parse(&text).map_err(|e| format!("{}: {e}", p.display()))?;
+                let outcome = b.apply(&mut findings);
+                suppressed = outcome.suppressed;
+                for (code, path, n) in outcome.stale {
+                    eprintln!(
+                        "mgrid-lint: stale baseline entry: {code} {path} ({n} unused) — shrink the baseline"
+                    );
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(format!("reading {}: {e}", p.display())),
+        }
+    }
+
+    if do_fix {
+        let plan = fix::plan_fixes(&ws.analyses, &findings);
+        print!("{}", fix::render_diff(&plan));
+        for f in &plan.unfixable {
+            eprintln!("mgrid-lint: not auto-fixable: {f}");
+        }
+        if do_write {
+            for file in &plan.files {
+                let p = root.join(&file.path);
+                std::fs::write(&p, file.new_src())
+                    .map_err(|e| format!("writing {}: {e}", p.display()))?;
+            }
+            eprintln!(
+                "mgrid-lint: fixed {} finding(s) in {} file(s)",
+                plan.fixed,
+                plan.files.len()
+            );
+        } else if plan.fixed > 0 {
+            eprintln!(
+                "mgrid-lint: dry run — {} finding(s) fixable; re-run with --fix --write to apply",
+                plan.fixed
+            );
+        }
+        return Ok(findings.is_empty());
+    }
+
+    print!("{}", render(&findings, files_scanned, suppressed, format));
+    Ok(findings.is_empty())
 }
 
 /// Walk upward from the current directory to the first directory holding

@@ -35,8 +35,14 @@ pub enum Format {
 }
 
 /// Render `findings` in the requested format. `files_scanned` feeds the
-/// summary line / JSON field.
-pub fn render(findings: &[Finding], files_scanned: usize, format: Format) -> String {
+/// summary line / JSON field; `baseline_suppressed` counts findings a
+/// baseline accepted (0 when no baseline is in play).
+pub fn render(
+    findings: &[Finding],
+    files_scanned: usize,
+    baseline_suppressed: usize,
+    format: Format,
+) -> String {
     match format {
         Format::Human => {
             let mut s = String::new();
@@ -44,12 +50,18 @@ pub fn render(findings: &[Finding], files_scanned: usize, format: Format) -> Str
                 s.push_str(&f.to_string());
                 s.push('\n');
             }
+            let baselined = if baseline_suppressed > 0 {
+                format!(" ({baseline_suppressed} baselined)")
+            } else {
+                String::new()
+            };
             s.push_str(&format!(
-                "mgrid-lint: {} finding{} in {} file{} scanned\n",
+                "mgrid-lint: {} finding{} in {} file{} scanned{}\n",
                 findings.len(),
                 if findings.len() == 1 { "" } else { "s" },
                 files_scanned,
                 if files_scanned == 1 { "" } else { "s" },
+                baselined,
             ));
             s
         }
@@ -68,8 +80,9 @@ pub fn render(findings: &[Finding], files_scanned: usize, format: Format) -> Str
                 ));
             }
             s.push_str(&format!(
-                "],\"files_scanned\":{},\"total\":{}}}\n",
+                "],\"files_scanned\":{},\"baseline_suppressed\":{},\"total\":{}}}\n",
                 files_scanned,
+                baseline_suppressed,
                 findings.len()
             ));
             s
@@ -111,16 +124,20 @@ mod tests {
 
     #[test]
     fn human_format_lists_and_summarizes() {
-        let s = render(&sample(), 3, Format::Human);
+        let s = render(&sample(), 3, 0, Format::Human);
         assert!(s.contains("crates/desim/src/time.rs:7: MG001"));
         assert!(s.contains("1 finding in 3 files scanned"));
+        let s = render(&sample(), 3, 2, Format::Human);
+        assert!(s.contains("1 finding in 3 files scanned (2 baselined)"));
     }
 
     #[test]
     fn json_format_is_parseable_shape() {
-        let s = render(&sample(), 3, Format::Json);
+        let s = render(&sample(), 3, 2, Format::Json);
         assert!(s.starts_with("{\"findings\":[{\"code\":\"MG001\""));
-        assert!(s.trim_end().ends_with("\"files_scanned\":3,\"total\":1}"));
+        assert!(s
+            .trim_end()
+            .ends_with("\"files_scanned\":3,\"baseline_suppressed\":2,\"total\":1}"));
     }
 
     #[test]

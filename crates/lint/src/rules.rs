@@ -1,4 +1,4 @@
-//! The rule engine: MG001–MG005 over the token stream.
+//! The rule engine: MG001–MG009 over the item tree.
 //!
 //! | Code  | Protects                                                    |
 //! |-------|-------------------------------------------------------------|
@@ -8,22 +8,187 @@
 //! | MG003 | seed-threaded RNGs: no `thread_rng`/`rand::random`/`OsRng`      |
 //! | MG004 | auditable unsafety: every `unsafe` has a `// SAFETY:` comment   |
 //! | MG005 | single-threaded determinism: no `thread::spawn`/`Mutex`         |
+//! | MG006 | memory-ordering audit: paired/annotated atomics only            |
+//! | MG007 | unordered iteration: hash containers never drive output order   |
+//! | MG008 | virtual-time float hazards: no float math/NaN compares on time  |
+//! | MG009 | unbounded growth: loop pushes into fields need a drain          |
+//!
+//! Phase 1 ([`crate::itemtree`]) builds the per-file structure; this
+//! module is phase 2. Identifier checks resolve through the file's `use`
+//! table first, so `use std::collections::HashMap as Map; Map::new()` is
+//! just as visible as the spelled-out form, and MG006/MG007 consult a
+//! [`CrateContext`] built from *every* file of the crate, so a store in
+//! `exchange.rs` can pair with a load in `shard.rs` and a map declared
+//! in one module is recognized when iterated in another.
 //!
 //! Code inside `#[cfg(test)]` items is exempt from every rule: tests may
 //! time themselves and allocate scratch maps freely. A finding on line
 //! `N` can be suppressed by `// mgrid-lint: allow(MGxxx) reason` on line
-//! `N` or `N-1`; the reason is mandatory (MG000 otherwise).
+//! `N` or `N-1`; the reason is mandatory (MG000 otherwise). MG006
+//! findings are alternatively discharged by a `// ORDERING: <reason>`
+//! comment at the site — the same comment that documents the pairing for
+//! human readers.
+
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::config::Config;
-use crate::lexer::{lex, Tok, Token};
+use crate::itemtree::{self, ItemTree};
+use crate::lexer::{lex, Lexed, Tok, Token};
 use crate::report::Finding;
 
 /// Every rule code the engine can emit (config validation uses this).
-pub const KNOWN_CODES: &[&str] = &["MG000", "MG001", "MG002", "MG003", "MG004", "MG005"];
+pub const KNOWN_CODES: &[&str] = &[
+    "MG000", "MG001", "MG002", "MG003", "MG004", "MG005", "MG006", "MG007", "MG008", "MG009",
+];
 
-/// How far above an `unsafe` the `// SAFETY:` comment may start, in lines
-/// of contiguous comment/attribute.
-const SAFETY_SEARCH_LINES: u32 = 30;
+/// How far above a site a justifying comment (`// SAFETY:` for MG004,
+/// `// ORDERING:` for MG006) may start, in lines of contiguous
+/// comment/attribute.
+const JUSTIFICATION_SEARCH_LINES: u32 = 30;
+
+/// Iteration methods whose order reflects the hasher (MG007).
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+];
+
+/// Chain terminals whose result cannot depend on iteration order.
+const ORDER_FREE: &[&str] = &[
+    "any",
+    "all",
+    "count",
+    "sum",
+    "product",
+    "min",
+    "max",
+    "fold_first",
+];
+
+/// Sort-family methods that restore a canonical order after collecting.
+const SORT_FAMILY: &[&str] = &[
+    "sort",
+    "sort_unstable",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+];
+
+/// Methods that shrink a container (MG009 drain evidence).
+const DRAIN_METHODS: &[&str] = &[
+    "pop",
+    "pop_front",
+    "pop_back",
+    "drain",
+    "clear",
+    "truncate",
+    "split_off",
+    "swap_remove",
+    "remove",
+    "take",
+];
+
+/// One file's phase-1 analysis, ready for the rules.
+pub struct FileAnalysis {
+    /// Workspace-relative path (echoed into findings).
+    pub path: String,
+    /// Owning crate (selects which rules apply).
+    pub crate_name: String,
+    /// The file's source text (kept for `--fix`).
+    pub src: String,
+    /// Token/comment streams.
+    pub lexed: Lexed,
+    /// The item tree.
+    pub tree: ItemTree,
+}
+
+/// Run phase 1 on one file.
+pub fn analyze(path: &str, crate_name: &str, src: &str) -> FileAnalysis {
+    let lexed = lex(src);
+    let tree = itemtree::build(&lexed.tokens);
+    FileAnalysis {
+        path: path.to_string(),
+        crate_name: crate_name.to_string(),
+        src: src.to_string(),
+        lexed,
+        tree,
+    }
+}
+
+/// Cross-file facts about one crate, consulted by MG006/MG007.
+#[derive(Debug, Default)]
+pub struct CrateContext {
+    /// Names declared (anywhere in the crate) with a hash-container type.
+    pub hash_names: BTreeSet<String>,
+    /// Atomic fields with an acquire-side reader outside tests.
+    pub acquire_fields: BTreeSet<String>,
+    /// Atomic fields with a release-side writer outside tests.
+    pub release_fields: BTreeSet<String>,
+}
+
+impl CrateContext {
+    /// Union the phase-1 facts of every file in the crate.
+    pub fn build<'a>(files: impl IntoIterator<Item = &'a FileAnalysis>) -> Self {
+        let mut ctx = CrateContext::default();
+        for fa in files {
+            for d in &fa.tree.decls {
+                if d.is_hash() {
+                    ctx.hash_names.insert(d.name.clone());
+                }
+            }
+            for op in &fa.tree.atomics {
+                if op.cfg_test || op.field.is_empty() {
+                    continue;
+                }
+                let (acq, rel) = op_sides(op);
+                if acq {
+                    ctx.acquire_fields.insert(op.field.clone());
+                }
+                if rel {
+                    ctx.release_fields.insert(op.field.clone());
+                }
+            }
+        }
+        ctx
+    }
+}
+
+/// Which happens-before sides an op provides: (acquire, release).
+/// `SeqCst` counts as both; a pure `Relaxed` op provides neither.
+fn op_sides(op: &itemtree::AtomicOp) -> (bool, bool) {
+    let has = |o: &str| op.orderings.iter().any(|x| x == o);
+    let seq = has("SeqCst");
+    let acqrel = has("AcqRel");
+    let is_load_side = op.method != "store";
+    let is_store_side = op.method != "load";
+    (
+        is_load_side && (has("Acquire") || acqrel || seq),
+        is_store_side && (has("Release") || acqrel || seq),
+    )
+}
+
+/// Lint every file of one crate with shared [`CrateContext`].
+pub fn lint_crate(files: &[&FileAnalysis], config: &Config) -> Vec<Finding> {
+    let ctx = CrateContext::build(files.iter().copied());
+    let mut findings = Vec::new();
+    for fa in files {
+        findings.extend(lint_file(fa, &ctx, config));
+    }
+    findings.sort_by(|a, b| (&a.path, a.line, a.code).cmp(&(&b.path, b.line, b.code)));
+    findings
+}
+
+/// Analyze one file's source as a crate of its own (fixture tests and
+/// single-file callers; workspace scans use [`lint_crate`]).
+pub fn lint_source(path: &str, crate_name: &str, src: &str, config: &Config) -> Vec<Finding> {
+    let fa = analyze(path, crate_name, src);
+    lint_crate(&[&fa], config)
+}
 
 #[derive(Default, Clone)]
 struct LineFlags {
@@ -31,6 +196,7 @@ struct LineFlags {
     first_is_hash: bool,
     has_comment: bool,
     safety: bool,
+    ordering: bool,
 }
 
 struct Suppression {
@@ -42,15 +208,12 @@ struct Suppression {
     has_reason: bool,
 }
 
-/// Analyze one file's source. `crate_name` and `path` select which rules
-/// apply per the config (per-file sections beat per-crate ones); `path`
-/// is also echoed into findings.
-pub fn lint_source(path: &str, crate_name: &str, src: &str, config: &Config) -> Vec<Finding> {
-    let lexed = lex(src);
-    let nlines = src.lines().count() as u32 + 1;
+fn lint_file(fa: &FileAnalysis, ctx: &CrateContext, config: &Config) -> Vec<Finding> {
+    let path = fa.path.as_str();
+    let nlines = fa.src.lines().count() as u32 + 1;
     let mut flags = vec![LineFlags::default(); nlines as usize + 2];
 
-    for t in &lexed.tokens {
+    for t in &fa.lexed.tokens {
         let f = &mut flags[t.line as usize];
         if !f.has_code {
             f.first_is_hash = t.tok == Tok::Punct('#');
@@ -59,12 +222,15 @@ pub fn lint_source(path: &str, crate_name: &str, src: &str, config: &Config) -> 
     }
     let mut suppressions: Vec<Suppression> = Vec::new();
     let mut findings: Vec<Finding> = Vec::new();
-    for c in &lexed.comments {
+    for c in &fa.lexed.comments {
         for l in c.line..c.line + c.lines_spanned {
             if let Some(f) = flags.get_mut(l as usize) {
                 f.has_comment = true;
                 if c.text.contains("SAFETY:") {
                     f.safety = true;
+                }
+                if c.text.contains("ORDERING:") {
+                    f.ordering = true;
                 }
             }
         }
@@ -89,99 +255,183 @@ pub fn lint_source(path: &str, crate_name: &str, src: &str, config: &Config) -> 
         }
     }
 
-    let enabled = |code: &str| config.code_enabled_at(crate_name, path, code);
-    let toks = &lexed.tokens;
-    let n = toks.len();
-    let mut i = 0usize;
-    let mut in_use = false;
-    while i < n {
-        // `#[cfg(test)]` (outer attribute): skip the attached item.
-        if toks[i].tok == Tok::Punct('#')
-            && matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('[')))
-        {
-            let (end, is_cfg_test) = scan_attribute(toks, i + 1);
-            i = end;
-            if is_cfg_test {
-                i = skip_attributes(toks, i);
-                i = skip_item(toks, i);
-            }
+    let enabled = |code: &str| config.code_enabled_at(&fa.crate_name, path, code);
+    let toks = &fa.lexed.tokens;
+    let tree = &fa.tree;
+
+    // Import findings come from the resolved use table, so aliased and
+    // grouped imports are flagged exactly like spelled-out ones.
+    for entry in tree.uses.entries.values() {
+        if entry.cfg_test {
             continue;
         }
-
-        match &toks[i].tok {
-            Tok::Ident(id) => {
-                let line = toks[i].line;
-                match id.as_str() {
-                    "use" => in_use = true,
-                    "Instant" | "SystemTime" if enabled("MG001") => {
-                        if in_use {
-                            push(&mut findings, "MG001", path, line, format!(
-                                "import of wall-clock type `{id}` in a sim crate — simulation code must use virtual time (`mgrid_desim::now`)"
-                            ));
-                        } else if path_call(toks, i, "now") {
-                            push(&mut findings, "MG001", path, line, format!(
-                                "wall-clock read `{id}::now` — simulation code must use virtual time (`mgrid_desim::now`)"
-                            ));
-                        }
-                    }
-                    "HashMap" | "HashSet" if enabled("MG002") => {
-                        let needed = if id == "HashMap" { 3 } else { 2 };
-                        let violation = if in_use {
-                            true
-                        } else {
-                            match explicit_generic_args(toks, i + 1) {
-                                Some(args) => args < needed,
-                                None => true, // `HashMap::new()`, bare mention
-                            }
-                        };
-                        if violation {
-                            push(&mut findings, "MG002", path, line, format!(
-                                "default-`RandomState` `{id}` — iteration order varies per process; use `mgrid_desim::Fx{id}` or `BTree{}`",
-                                &id[4..]
-                            ));
-                        }
-                    }
-                    "thread_rng" | "OsRng" | "from_entropy" if enabled("MG003") => {
-                        push(&mut findings, "MG003", path, line, format!(
-                            "ambient randomness `{id}` — RNGs must be seed-threaded (`mgrid_desim::SimRng`)"
-                        ));
-                    }
-                    "rand" if enabled("MG003") && path_call(toks, i, "random") => {
-                        push(&mut findings, "MG003", path, line,
-                            "ambient randomness `rand::random` — RNGs must be seed-threaded (`mgrid_desim::SimRng`)".into(),
-                        );
-                    }
-                    "unsafe" if enabled("MG004") && !safety_justified(&flags, line) => {
-                        push(
-                            &mut findings,
-                            "MG004",
-                            path,
-                            line,
-                            "`unsafe` without a preceding `// SAFETY:` justification".into(),
-                        );
-                    }
-                    "thread" if enabled("MG005") && path_call(toks, i, "spawn") => {
-                        push(&mut findings, "MG005", path, line,
-                            "`thread::spawn` in the deterministic executor path — use `mgrid_desim::spawn`/`spawn_daemon`".into(),
-                        );
-                    }
-                    "Mutex" | "RwLock" | "Condvar" if enabled("MG005") && !in_use => {
-                        push(&mut findings, "MG005", path, line, format!(
-                            "OS synchronization `{id}` in the deterministic executor path — use `mgrid_desim::sync` primitives"
-                        ));
-                    }
-                    "Mutex" | "RwLock" | "Condvar" if enabled("MG005") && in_use => {
-                        push(&mut findings, "MG005", path, line, format!(
-                            "import of OS synchronization `{id}` in a sim crate — use `mgrid_desim::sync` primitives"
-                        ));
-                    }
-                    _ => {}
-                }
+        let base = entry.path.rsplit("::").next().unwrap_or("");
+        let line = entry.line;
+        match base {
+            "Instant" | "SystemTime" if enabled("MG001") => {
+                push(&mut findings, "MG001", path, line, format!(
+                    "import of wall-clock type `{base}` in a sim crate — simulation code must use virtual time (`mgrid_desim::now`)"
+                ));
             }
-            Tok::Punct(';') => in_use = false,
+            "HashMap" | "HashSet" if enabled("MG002") && from_std_collections(&entry.path) => {
+                push(&mut findings, "MG002", path, line, format!(
+                    "default-`RandomState` `{base}` — iteration order varies per process; use `mgrid_desim::Fx{base}` or `BTree{}`",
+                    &base[4..]
+                ));
+            }
+            "thread_rng" | "OsRng" if enabled("MG003") => {
+                push(&mut findings, "MG003", path, line, format!(
+                    "ambient randomness `{base}` — RNGs must be seed-threaded (`mgrid_desim::SimRng`)"
+                ));
+            }
+            "random" if enabled("MG003") && entry.path.starts_with("rand") => {
+                push(&mut findings, "MG003", path, line,
+                    "ambient randomness `rand::random` — RNGs must be seed-threaded (`mgrid_desim::SimRng`)".into(),
+                );
+            }
+            "Mutex" | "RwLock" | "Condvar" if enabled("MG005") => {
+                push(&mut findings, "MG005", path, line, format!(
+                    "import of OS synchronization `{base}` in a sim crate — use `mgrid_desim::sync` primitives"
+                ));
+            }
             _ => {}
         }
-        i += 1;
+    }
+
+    let in_loop = loop_body_tokens(toks);
+    let drained = drained_names(toks);
+    // MG007 name resolution: a file-local declaration wins over the
+    // crate-wide hash set, so the `Vec` named `procs` in this file is
+    // not mistaken for the `FxHashMap` named `procs` in another.
+    let mut local_decl_hash: BTreeMap<&str, bool> = BTreeMap::new();
+    for d in &tree.decls {
+        *local_decl_hash.entry(d.name.as_str()).or_insert(false) |= d.is_hash();
+    }
+    let treat_as_hash = |name: &str| -> bool {
+        match local_decl_hash.get(name) {
+            Some(is_hash) => *is_hash,
+            None => ctx.hash_names.contains(name),
+        }
+    };
+    let n = toks.len();
+    for i in 0..n {
+        if tree.in_test.get(i).copied().unwrap_or(false)
+            || tree.in_use.get(i).copied().unwrap_or(false)
+        {
+            continue;
+        }
+        let Tok::Ident(id) = &toks[i].tok else {
+            continue;
+        };
+        let line = toks[i].line;
+        // Resolve through the use table: an aliased import is checked
+        // under the name it actually refers to.
+        let base = tree.uses.base_name(id);
+        match base {
+            "Instant" | "SystemTime" if enabled("MG001") && path_call(toks, i, "now") => {
+                push(&mut findings, "MG001", path, line, format!(
+                    "wall-clock read `{base}::now` — simulation code must use virtual time (`mgrid_desim::now`)"
+                ));
+            }
+            "HashMap" | "HashSet" if enabled("MG002") => {
+                let needed = if base == "HashMap" { 3 } else { 2 };
+                let violation = match explicit_generic_args(toks, i + 1) {
+                    Some(args) => args < needed,
+                    None => true, // `HashMap::new()`, bare mention
+                };
+                if violation {
+                    push(&mut findings, "MG002", path, line, format!(
+                        "default-`RandomState` `{base}` — iteration order varies per process; use `mgrid_desim::Fx{base}` or `BTree{}`",
+                        &base[4..]
+                    ));
+                }
+            }
+            "thread_rng" | "OsRng" | "from_entropy" if enabled("MG003") => {
+                push(&mut findings, "MG003", path, line, format!(
+                    "ambient randomness `{base}` — RNGs must be seed-threaded (`mgrid_desim::SimRng`)"
+                ));
+            }
+            "rand" if enabled("MG003") && path_call(toks, i, "random") => {
+                push(&mut findings, "MG003", path, line,
+                    "ambient randomness `rand::random` — RNGs must be seed-threaded (`mgrid_desim::SimRng`)".into(),
+                );
+            }
+            "random"
+                if enabled("MG003")
+                    && tree.uses.resolve(id).is_some_and(|p| p.starts_with("rand")) =>
+            {
+                push(&mut findings, "MG003", path, line,
+                    "ambient randomness `rand::random` — RNGs must be seed-threaded (`mgrid_desim::SimRng`)".into(),
+                );
+            }
+            "unsafe" if enabled("MG004") && !justified(&flags, line, |f| f.safety) => {
+                push(
+                    &mut findings,
+                    "MG004",
+                    path,
+                    line,
+                    "`unsafe` without a preceding `// SAFETY:` justification".into(),
+                );
+            }
+            "thread" if enabled("MG005") && path_call(toks, i, "spawn") => {
+                push(&mut findings, "MG005", path, line,
+                    "`thread::spawn` in the deterministic executor path — use `mgrid_desim::spawn`/`spawn_daemon`".into(),
+                );
+            }
+            "Mutex" | "RwLock" | "Condvar" if enabled("MG005") => {
+                push(&mut findings, "MG005", path, line, format!(
+                    "OS synchronization `{base}` in the deterministic executor path — use `mgrid_desim::sync` primitives"
+                ));
+            }
+            "for" if enabled("MG007") => {
+                if let Some(name) = for_over_hash_container(toks, i, &treat_as_hash) {
+                    push(&mut findings, "MG007", path, line, format!(
+                        "iteration over hash container `{name}` — order varies per hasher; collect-and-sort or use a BTreeMap"
+                    ));
+                }
+            }
+            _ => {}
+        }
+        // Method-position checks share the `.name(` shape.
+        let is_method = i > 0
+            && matches!(toks[i - 1].tok, Tok::Punct('.'))
+            && matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('(')));
+        if is_method && enabled("MG007") && ITER_METHODS.contains(&id.as_str()) {
+            if let Some(name) = itemtree::receiver_base(toks, i - 1) {
+                if treat_as_hash(&name) && !order_exonerated(toks, i) {
+                    push(&mut findings, "MG007", path, line, format!(
+                        "iteration over hash container `{name}` — order varies per hasher; collect-and-sort, use a BTreeMap, or finish with an order-insensitive fold"
+                    ));
+                }
+            }
+        }
+        if enabled("MG008") {
+            mg008(&mut findings, path, toks, i, is_method);
+        }
+        if is_method
+            && enabled("MG009")
+            && (id == "push" || id == "push_back")
+            && in_loop.get(i).copied().unwrap_or(false)
+        {
+            if let Some(b) = itemtree::receiver_base_idx(toks, i - 1) {
+                let name = match &toks[b].tok {
+                    Tok::Ident(s) => s.clone(),
+                    _ => continue,
+                };
+                // Locals are bounded by their function; the hazard is
+                // growth of *persistent* state, i.e. field receivers.
+                let is_field = b > 0 && matches!(toks[b - 1].tok, Tok::Punct('.'));
+                if is_field && !drained.contains(&name) {
+                    push(&mut findings, "MG009", path, line, format!(
+                        "`{id}` into `{name}` inside a loop with no drain/cap in this file — unbounded growth hazard; drain it or annotate why it is bounded"
+                    ));
+                }
+            }
+        }
+    }
+
+    if enabled("MG006") {
+        mg006(&mut findings, path, tree, ctx, &flags);
     }
 
     // Apply suppressions, then report reason-less ones that matched.
@@ -213,6 +463,452 @@ pub fn lint_source(path: &str, crate_name: &str, src: &str, config: &Config) -> 
     }
     findings.sort_by(|a, b| (a.line, a.code).cmp(&(b.line, b.code)));
     findings
+}
+
+/// MG002 only polices the std containers; an alias resolving to
+/// `FxHashMap`, or a plain local type that merely *ends* in `HashMap`,
+/// is fine. Unresolved bare mentions (empty path) are assumed std.
+fn from_std_collections(path: &str) -> bool {
+    !path.contains("Fx")
+}
+
+/// MG006: audit the file's atomic ops against the crate-wide pairing
+/// evidence. An op discharges a finding with a `// ORDERING:` comment on
+/// its line or the contiguous comment block above.
+fn mg006(
+    findings: &mut Vec<Finding>,
+    path: &str,
+    tree: &ItemTree,
+    ctx: &CrateContext,
+    flags: &[LineFlags],
+) {
+    for op in &tree.atomics {
+        if op.cfg_test {
+            continue;
+        }
+        let annotated = justified(flags, op.line, |f| f.ordering);
+        let has = |o: &str| op.orderings.iter().any(|x| x == o);
+        // Statically invalid orderings first: these are bugs regardless
+        // of annotation.
+        if op.method == "load" && (has("Release") || has("AcqRel")) {
+            push(
+                findings,
+                "MG006",
+                path,
+                op.line,
+                format!(
+                    "`load` with a release ordering on `{}` is statically invalid",
+                    op.field
+                ),
+            );
+            continue;
+        }
+        if op.method == "store" && (has("Acquire") || has("AcqRel")) {
+            push(
+                findings,
+                "MG006",
+                path,
+                op.line,
+                format!(
+                    "`store` with an acquire ordering on `{}` is statically invalid",
+                    op.field
+                ),
+            );
+            continue;
+        }
+        if annotated {
+            continue;
+        }
+        if has("Relaxed") && !has("Acquire") && !has("Release") && !has("AcqRel") && !has("SeqCst")
+        {
+            push(findings, "MG006", path, op.line, format!(
+                "`Ordering::Relaxed` on `{}` — a relaxed op publishes nothing across threads; annotate `// ORDERING: <why relaxed is sound>` or strengthen it",
+                op.field
+            ));
+            continue;
+        }
+        let (acq, rel) = op_sides(op);
+        let seq = has("SeqCst");
+        if acq && !seq && !ctx.release_fields.contains(&op.field) {
+            push(findings, "MG006", path, op.line, format!(
+                "acquire-side `{}` on `{}` has no release-side writer anywhere in this crate — annotate `// ORDERING: <what it pairs with>` or fix the pair",
+                op.method, op.field
+            ));
+        }
+        if rel && !seq && !ctx.acquire_fields.contains(&op.field) {
+            push(findings, "MG006", path, op.line, format!(
+                "release-side `{}` on `{}` has no acquire-side reader anywhere in this crate — annotate `// ORDERING: <what it pairs with>` or fix the pair",
+                op.method, op.field
+            ));
+        }
+    }
+}
+
+/// MG008 checks at token `i`: float construction/scaling of sim time and
+/// NaN-capable comparisons.
+fn mg008(findings: &mut Vec<Finding>, path: &str, toks: &[Token], i: usize, is_method: bool) {
+    let Tok::Ident(id) = &toks[i].tok else { return };
+    let line = toks[i].line;
+    let called = matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('(')));
+    let defined = i > 0 && matches!(&toks[i - 1].tok, Tok::Ident(k) if k == "fn");
+    match id.as_str() {
+        "from_secs_f64" if called && !defined => {
+            push(findings, "MG008", path, line,
+                "float construction of virtual time (`from_secs_f64`) — floats drift; derive sim time from integer ticks".into(),
+            );
+        }
+        "mul_f64" | "div_f64" if is_method => {
+            push(findings, "MG008", path, line, format!(
+                "float scaling of sim time (`{id}`) — confine float math to the vetted conversion sites in `desim::time`"
+            ));
+        }
+        "as_secs_f64" if is_method && statement_has_comparison(toks, i) => {
+            push(findings, "MG008", path, line,
+                "float comparison of sim time (`as_secs_f64` feeding a comparison) — compare integer ticks instead".into(),
+            );
+        }
+        "partial_cmp" if is_method => {
+            push(findings, "MG008", path, line,
+                "NaN-capable comparison `partial_cmp` in sim code — a NaN makes ordering non-total; use `total_cmp` or integer keys".into(),
+            );
+        }
+        _ => {}
+    }
+}
+
+/// Does the statement containing token `i` hold a top-level comparison
+/// operator? Scans both directions to the nearest statement boundary.
+fn statement_has_comparison(toks: &[Token], i: usize) -> bool {
+    let lo = {
+        let mut j = i;
+        let mut steps = 0;
+        while j > 0 && steps < 80 {
+            match toks[j - 1].tok {
+                Tok::Punct(';') | Tok::Punct('{') | Tok::Punct('}') => break,
+                _ => {}
+            }
+            j -= 1;
+            steps += 1;
+        }
+        j
+    };
+    let hi = {
+        let mut j = i;
+        let mut steps = 0;
+        let mut parens = 0i32;
+        while j < toks.len() && steps < 80 {
+            match toks[j].tok {
+                Tok::Punct('(') => parens += 1,
+                Tok::Punct(')') => parens -= 1,
+                Tok::Punct(';') | Tok::Punct('{') | Tok::Punct('}') if parens <= 0 => break,
+                _ => {}
+            }
+            j += 1;
+            steps += 1;
+        }
+        j
+    };
+    for k in lo..hi {
+        if comparison_at(toks, k) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Is the punct at `k` a comparison operator (not generics, shifts,
+/// turbofish, or a match arm's `=>`)?
+fn comparison_at(toks: &[Token], k: usize) -> bool {
+    let p = match toks[k].tok {
+        Tok::Punct(c @ ('<' | '>' | '=' | '!')) => c,
+        _ => return false,
+    };
+    let prev = k.checked_sub(1).map(|j| &toks[j].tok);
+    let next = toks.get(k + 1).map(|t| &t.tok);
+    let prev_p = |c: char| matches!(prev, Some(Tok::Punct(x)) if *x == c);
+    let next_p = |c: char| matches!(next, Some(Tok::Punct(x)) if *x == c);
+    match p {
+        '<' | '>' => {
+            // `::<` turbofish, `<<`/`>>` shifts, `->`/`=>` are tokenized
+            // elsewhere; require value-like neighbors to rule out generics.
+            if matches!(prev, Some(Tok::PathSep)) || prev_p(p) || next_p(p) || prev_p('=') {
+                return false;
+            }
+            let value_left = matches!(
+                prev,
+                Some(Tok::Ident(_) | Tok::Literal | Tok::Punct(')') | Tok::Punct(']'))
+            );
+            let value_right = matches!(
+                next,
+                Some(
+                    Tok::Ident(_)
+                        | Tok::Literal
+                        | Tok::Punct('(')
+                        | Tok::Punct('=')
+                        | Tok::Punct('-')
+                )
+            );
+            value_left && value_right
+        }
+        '=' => next_p('=') && !prev_p('=') && !prev_p('!') && !prev_p('<') && !prev_p('>'),
+        '!' => next_p('='),
+        _ => false,
+    }
+}
+
+/// After an MG007 iteration call at token `i` (the method ident), is the
+/// result demonstrably order-insensitive? True when the chain ends in an
+/// order-free terminal, contains a sort in the same statement, or
+/// collects into something sorted within the next few lines.
+fn order_exonerated(toks: &[Token], i: usize) -> bool {
+    let mut j = i + 1;
+    let mut parens = 0i32;
+    let mut steps = 0;
+    let mut collected = false;
+    while j < toks.len() && steps < 160 {
+        match &toks[j].tok {
+            Tok::Punct('(') => parens += 1,
+            Tok::Punct(')') => parens -= 1,
+            Tok::Punct(';') | Tok::Punct('{') if parens <= 0 => break,
+            Tok::Ident(m) if parens <= 0 => {
+                if ORDER_FREE.contains(&m.as_str()) || SORT_FAMILY.contains(&m.as_str()) {
+                    return true;
+                }
+                if m == "collect" {
+                    collected = true;
+                }
+            }
+            // A sort anywhere in the statement (e.g. inside a block
+            // expression) still canonicalizes the order.
+            Tok::Ident(m) if SORT_FAMILY.contains(&m.as_str()) => {
+                return true;
+            }
+            _ => {}
+        }
+        j += 1;
+        steps += 1;
+    }
+    if collected {
+        // `let v: Vec<_> = m.iter().collect(); v.sort();` — allow the
+        // sort to follow within a few statements.
+        for t in toks.iter().skip(j).take(60) {
+            if let Tok::Ident(m) = &t.tok {
+                if SORT_FAMILY.contains(&m.as_str()) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// `for PAT in [&][mut] chain {` where the chain is plain field access
+/// ending in a crate-known hash container (no method call — those are
+/// caught at the `.iter()`-style site). Returns the container name.
+fn for_over_hash_container(
+    toks: &[Token],
+    i: usize,
+    is_hash: &dyn Fn(&str) -> bool,
+) -> Option<String> {
+    // Find `in` (skipping the pattern; bounded to keep this cheap).
+    let mut j = i + 1;
+    let mut depth = 0i32;
+    let mut steps = 0;
+    loop {
+        match toks.get(j).map(|t| &t.tok) {
+            Some(Tok::Punct('(') | Tok::Punct('[')) => depth += 1,
+            Some(Tok::Punct(')') | Tok::Punct(']')) => depth -= 1,
+            Some(Tok::Ident(s)) if s == "in" && depth == 0 => break,
+            None => return None,
+            _ => {}
+        }
+        j += 1;
+        steps += 1;
+        if steps > 48 {
+            return None;
+        }
+    }
+    // Expression: only `&`/`mut`/idents/`.`/`::` up to the body `{`.
+    let mut last_ident: Option<&str> = None;
+    let mut k = j + 1;
+    loop {
+        match toks.get(k).map(|t| &t.tok) {
+            Some(Tok::Punct('{')) => break,
+            Some(Tok::Punct('&') | Tok::Punct('.')) | Some(Tok::PathSep) => {}
+            Some(Tok::Ident(s)) if s == "mut" || s == "self" || s == "crate" => {}
+            Some(Tok::Ident(s)) => last_ident = Some(s.as_str()),
+            _ => return None, // calls, literals, ranges: not this form
+        }
+        k += 1;
+        if k > j + 24 {
+            return None;
+        }
+    }
+    last_ident.filter(|s| is_hash(s)).map(|s| s.to_string())
+}
+
+/// Token-index bitmap: inside the body of a `for`/`while`/`loop`.
+fn loop_body_tokens(toks: &[Token]) -> Vec<bool> {
+    let mut in_loop = vec![false; toks.len()];
+    for i in 0..toks.len() {
+        let is_loop_kw =
+            matches!(&toks[i].tok, Tok::Ident(s) if s == "for" || s == "while" || s == "loop");
+        if !is_loop_kw {
+            continue;
+        }
+        // Body = first `{` at paren depth 0 after the keyword.
+        let mut parens = 0i32;
+        let mut j = i + 1;
+        while j < toks.len() {
+            match toks[j].tok {
+                Tok::Punct('(') | Tok::Punct('[') => parens += 1,
+                Tok::Punct(')') | Tok::Punct(']') => parens -= 1,
+                Tok::Punct('{') if parens == 0 => break,
+                Tok::Punct(';') if parens == 0 => {
+                    j = toks.len(); // `for` in a macro or malformed: bail
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if j >= toks.len() {
+            continue;
+        }
+        // Mark the balanced body.
+        let mut depth = 0i32;
+        let start = j;
+        while j < toks.len() {
+            match toks[j].tok {
+                Tok::Punct('{') => depth += 1,
+                Tok::Punct('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        for f in &mut in_loop[start..j.min(toks.len())] {
+            *f = true;
+        }
+    }
+    in_loop
+}
+
+/// File-wide drain evidence for MG009: receiver names of shrinking
+/// method calls, argument names of `take`/`replace` free calls, and —
+/// via for-binding aliases — the containers those bindings iterate
+/// (`for (d, buf) in bufs.iter_mut()` lets a drain of `buf` exonerate
+/// `bufs`).
+fn drained_names(toks: &[Token]) -> BTreeSet<String> {
+    let aliases = for_aliases(toks);
+    let mut out = BTreeSet::new();
+    let add = |name: &str, out: &mut BTreeSet<String>| {
+        out.insert(name.to_string());
+        if let Some(target) = aliases.get(name) {
+            out.insert(target.clone());
+        }
+    };
+    for i in 0..toks.len() {
+        let Tok::Ident(m) = &toks[i].tok else {
+            continue;
+        };
+        let called = matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('(')));
+        if !called {
+            continue;
+        }
+        let is_method = i > 0 && matches!(toks[i - 1].tok, Tok::Punct('.'));
+        if is_method && DRAIN_METHODS.contains(&m.as_str()) {
+            if let Some(b) = itemtree::receiver_base(toks, i - 1) {
+                add(&b, &mut out);
+            }
+        }
+        if !is_method && (m == "take" || m == "replace") {
+            // `mem::take(&mut st.bufs)` and friends: every named
+            // argument counts as drained.
+            let mut j = i + 2;
+            let mut depth = 1i32;
+            while j < toks.len() && depth > 0 {
+                match &toks[j].tok {
+                    Tok::Punct('(') => depth += 1,
+                    Tok::Punct(')') => depth -= 1,
+                    Tok::Ident(a) if a != "mut" && a != "self" => add(a, &mut out),
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Pattern-binding → iterated-container map from `for` loops.
+fn for_aliases(toks: &[Token]) -> BTreeMap<String, String> {
+    let mut map = BTreeMap::new();
+    for i in 0..toks.len() {
+        if !matches!(&toks[i].tok, Tok::Ident(s) if s == "for") {
+            continue;
+        }
+        // Collect pattern idents up to `in`.
+        let mut pats = Vec::new();
+        let mut j = i + 1;
+        let mut steps = 0;
+        let found_in = loop {
+            match toks.get(j).map(|t| &t.tok) {
+                Some(Tok::Ident(s)) if s == "in" => break true,
+                Some(Tok::Ident(s)) if s != "mut" && s != "ref" => pats.push(s.clone()),
+                Some(Tok::Punct('{') | Tok::Punct(';')) | None => break false,
+                _ => {}
+            }
+            j += 1;
+            steps += 1;
+            if steps > 32 {
+                break false;
+            }
+        };
+        if !found_in {
+            continue;
+        }
+        // The iterated container: the last ident of the plain field
+        // chain after `in`, dropping a trailing method name
+        // (`st.bufs.iter_mut()` → `bufs`, `bufs` → `bufs`).
+        let mut chain: Vec<&str> = Vec::new();
+        let mut k = j + 1;
+        let mut called = false;
+        loop {
+            match toks.get(k).map(|t| &t.tok) {
+                Some(Tok::Ident(s)) if s != "mut" && s != "self" && s != "crate" => {
+                    chain.push(s.as_str())
+                }
+                Some(Tok::Punct('(')) => {
+                    called = true;
+                    break;
+                }
+                Some(Tok::Punct('{')) | None => break,
+                Some(Tok::Punct('&') | Tok::Punct('.') | Tok::Ident(_)) | Some(Tok::PathSep) => {}
+                _ => {
+                    chain.clear();
+                    break;
+                }
+            }
+            k += 1;
+            if k > j + 24 {
+                chain.clear();
+                break;
+            }
+        }
+        if called {
+            chain.pop(); // the method name, not the container
+        }
+        if let Some(c) = chain.last().map(|s| s.to_string()) {
+            for p in pats {
+                map.insert(p, c.clone());
+            }
+        }
+    }
+    map
 }
 
 fn push(findings: &mut Vec<Finding>, code: &'static str, path: &str, line: u32, message: String) {
@@ -287,17 +983,19 @@ fn explicit_generic_args(toks: &[Token], mut j: usize) -> Option<usize> {
 }
 
 /// Walk upward from the line above `line` through comments and
-/// attributes looking for a `SAFETY:` comment (same-line comments count
-/// too).
-fn safety_justified(flags: &[LineFlags], line: u32) -> bool {
-    if flags[line as usize].safety {
+/// attributes looking for a line where `which` is set (same-line
+/// comments count too). Shared by the `SAFETY:` and `ORDERING:` checks.
+fn justified(flags: &[LineFlags], line: u32, which: impl Fn(&LineFlags) -> bool) -> bool {
+    if flags.get(line as usize).map(&which).unwrap_or(false) {
         return true;
     }
-    let stop = line.saturating_sub(SAFETY_SEARCH_LINES);
+    let stop = line.saturating_sub(JUSTIFICATION_SEARCH_LINES);
     let mut l = line.saturating_sub(1);
     while l > stop {
-        let f = &flags[l as usize];
-        if f.safety {
+        let Some(f) = flags.get(l as usize) else {
+            return false;
+        };
+        if which(f) {
             return true;
         }
         let continue_up = (f.has_code && f.first_is_hash) || (!f.has_code && f.has_comment);
@@ -307,73 +1005,6 @@ fn safety_justified(flags: &[LineFlags], line: u32) -> bool {
         l -= 1;
     }
     false
-}
-
-/// Scan an attribute starting at the `[` token index; returns (index one
-/// past the closing `]`, attribute-is-`cfg(...test...)`).
-fn scan_attribute(toks: &[Token], open: usize) -> (usize, bool) {
-    let mut depth = 0i32;
-    let mut has_cfg = false;
-    let mut has_test = false;
-    // `#[cfg(not(test))]` guards production code: never exempt it. (The
-    // cost is that `cfg(all(test, not(...)))` items get linted too, which
-    // errs on the side of catching real violations.)
-    let mut has_not = false;
-    let mut i = open;
-    while i < toks.len() {
-        match &toks[i].tok {
-            Tok::Punct('[') => depth += 1,
-            Tok::Punct(']') => {
-                depth -= 1;
-                if depth == 0 {
-                    return (i + 1, has_cfg && has_test && !has_not);
-                }
-            }
-            Tok::Ident(s) if s == "cfg" => has_cfg = true,
-            Tok::Ident(s) if s == "test" => has_test = true,
-            Tok::Ident(s) if s == "not" => has_not = true,
-            _ => {}
-        }
-        i += 1;
-    }
-    (i, false)
-}
-
-/// Skip any further `#[...]` attributes, returning the index of the first
-/// non-attribute token.
-fn skip_attributes(toks: &[Token], mut i: usize) -> usize {
-    while i < toks.len()
-        && toks[i].tok == Tok::Punct('#')
-        && matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('[')))
-    {
-        let (end, _) = scan_attribute(toks, i + 1);
-        i = end;
-    }
-    i
-}
-
-/// Skip one item: everything up to and including its closing `}` or a
-/// `;`/`,` at brace depth zero (fields, statements, `use` declarations).
-fn skip_item(toks: &[Token], mut i: usize) -> usize {
-    let mut depth = 0i32;
-    while i < toks.len() {
-        match toks[i].tok {
-            Tok::Punct('{') => depth += 1,
-            Tok::Punct('}') => {
-                if depth == 0 {
-                    return i; // enclosing block's close — not ours
-                }
-                depth -= 1;
-                if depth == 0 {
-                    return i + 1;
-                }
-            }
-            Tok::Punct(';') | Tok::Punct(',') if depth == 0 => return i + 1,
-            _ => {}
-        }
-        i += 1;
-    }
-    i
 }
 
 #[cfg(test)]
@@ -389,6 +1020,29 @@ mod tests {
     }
 
     #[test]
+    fn file_local_vec_shadows_crate_wide_hash_name() {
+        // `procs` is an FxHashMap in a.rs but a plain Vec in b.rs; only
+        // the hash-map iteration may be flagged.
+        let a = analyze(
+            "a.rs",
+            "desim",
+            "struct K { procs: FxHashMap<u64, u32> }\n\
+             fn g(k: &K) { for p in k.procs.values() { drop(p); } }\n",
+        );
+        let b = analyze(
+            "b.rs",
+            "desim",
+            "fn f() {\n    let procs: Vec<u32> = Vec::new();\n    for p in procs.iter() { drop(p); }\n}\n",
+        );
+        let f = lint_crate(&[&a, &b], &Config::default());
+        let got: Vec<(&str, &str, u32)> = f
+            .iter()
+            .map(|f| (f.code, f.path.as_str(), f.line))
+            .collect();
+        assert_eq!(got, vec![("MG007", "a.rs", 2)], "{f:?}");
+    }
+
+    #[test]
     fn wall_clock_flagged_with_line() {
         let src = "fn f() {\n    let t = std::time::Instant::now();\n}\n";
         assert_eq!(codes(src), vec![("MG001", 2)]);
@@ -397,6 +1051,12 @@ mod tests {
     #[test]
     fn wall_clock_import_flagged() {
         assert_eq!(codes("use std::time::Instant;\n"), vec![("MG001", 1)]);
+    }
+
+    #[test]
+    fn aliased_wall_clock_flagged_at_import_and_use() {
+        let src = "use std::time::Instant as Clock;\nfn f() { let t = Clock::now(); }\n";
+        assert_eq!(codes(src), vec![("MG001", 1), ("MG001", 2)]);
     }
 
     #[test]
@@ -412,6 +1072,23 @@ mod tests {
         assert!(codes("let m = HashMap::<u32, u32, FxBuildHasher>::default();").is_empty());
         assert_eq!(codes("let s: HashSet<u8> = HashSet::default();").len(), 2);
         assert!(codes("type S = HashSet<u8, FxBuildHasher>;").is_empty());
+    }
+
+    #[test]
+    fn aliased_hashmap_flagged_at_import_and_use() {
+        // The MG002 alias blindspot: before the use-resolution table the
+        // `Map::new()` line passed unseen.
+        let src = "use std::collections::HashMap as Map;\nfn f() { let m = Map::new(); }\n";
+        assert_eq!(codes(src), vec![("MG002", 1), ("MG002", 2)]);
+    }
+
+    #[test]
+    fn alias_to_fx_container_is_fine() {
+        // The reverse direction: an alias *to* the deterministic hasher
+        // must not be mistaken for std's.
+        let src =
+            "use mgrid_desim::FxHashMap as HashMap;\nfn f() { let m = HashMap::default(); }\n";
+        assert!(codes(src).is_empty());
     }
 
     #[test]
@@ -536,5 +1213,154 @@ mod tests {
     fn strings_and_comments_never_flag() {
         assert!(codes("// Instant::now() and HashMap::new() discussed here\n").is_empty());
         assert!(codes("let s = \"Instant::now\";").is_empty());
+    }
+
+    // ----- MG006 -------------------------------------------------------
+
+    #[test]
+    fn relaxed_without_annotation_flagged() {
+        let src = "fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }\n";
+        assert_eq!(codes(src), vec![("MG006", 1)]);
+    }
+
+    #[test]
+    fn relaxed_with_ordering_comment_is_fine() {
+        let src = "fn f(c: &AtomicU64) {\n    // ORDERING: pure statistics counter; the scope join publishes it.\n    c.fetch_add(1, Ordering::Relaxed);\n}\n";
+        assert!(codes(src).is_empty());
+    }
+
+    #[test]
+    fn paired_acquire_release_is_fine_across_functions() {
+        let src = "fn w(s: &S) { s.min_time.store(1, Ordering::Release); }\n\
+                   fn r(s: &S) -> u64 { s.min_time.load(Ordering::Acquire) }\n";
+        assert!(codes(src).is_empty());
+    }
+
+    #[test]
+    fn unpaired_acquire_flagged() {
+        let src = "fn r(s: &S) -> u64 { s.min_time.load(Ordering::Acquire) }\n";
+        assert_eq!(codes(src), vec![("MG006", 1)]);
+    }
+
+    #[test]
+    fn unpaired_release_flagged() {
+        let src = "fn w(s: &S) { s.min_time.store(1, Ordering::Release); }\n";
+        assert_eq!(codes(src), vec![("MG006", 1)]);
+    }
+
+    #[test]
+    fn acqrel_rmw_self_pairs() {
+        let src = "fn t(s: &S) { s.buf.swap(p, Ordering::AcqRel); }\n";
+        assert!(codes(src).is_empty());
+    }
+
+    #[test]
+    fn invalid_orderings_flagged_even_with_annotation() {
+        let src = "// ORDERING: wrong anyway\nfn f(a: &AtomicU64) { a.load(Ordering::Release); }\n";
+        assert_eq!(codes(src), vec![("MG006", 2)]);
+        let src2 = "fn f(a: &AtomicU64) { a.store(1, Ordering::Acquire); }\n";
+        assert_eq!(codes(src2), vec![("MG006", 1)]);
+    }
+
+    #[test]
+    fn seqcst_needs_no_pairing() {
+        let src = "fn f(a: &AtomicBool) { a.store(true, Ordering::SeqCst); }\n";
+        assert!(codes(src).is_empty());
+    }
+
+    // ----- MG007 -------------------------------------------------------
+
+    #[test]
+    fn hash_iteration_flagged_by_declared_name() {
+        let src = "struct S { procs: FxHashMap<u64, u32> }\n\
+                   fn f(s: &S) { for p in s.procs.values() { emit(p); } }\n";
+        assert_eq!(codes(src), vec![("MG007", 2)]);
+    }
+
+    #[test]
+    fn order_free_terminals_are_fine() {
+        let src = "struct S { procs: FxHashMap<u64, u32> }\n\
+                   fn f(s: &S) -> bool { s.procs.values().any(|p| *p > 0) }\n";
+        assert!(codes(src).is_empty());
+    }
+
+    #[test]
+    fn collect_and_sort_is_fine() {
+        let src = "struct S { procs: FxHashMap<u64, u32> }\n\
+                   fn f(s: &S) {\n    let mut v: Vec<_> = s.procs.iter().collect();\n    v.sort_by_key(|(k, _)| **k);\n}\n";
+        assert!(codes(src).is_empty());
+    }
+
+    #[test]
+    fn bare_for_over_hash_container_flagged() {
+        let src = "struct S { seen: FxHashSet<u64> }\n\
+                   fn f(s: &S) { for x in &s.seen { emit(x); } }\n";
+        assert_eq!(codes(src), vec![("MG007", 2)]);
+    }
+
+    #[test]
+    fn vec_iteration_is_fine() {
+        let src =
+            "struct S { order: Vec<u64> }\nfn f(s: &S) { for x in s.order.iter() { emit(x); } }\n";
+        assert!(codes(src).is_empty());
+    }
+
+    // ----- MG008 -------------------------------------------------------
+
+    #[test]
+    fn float_time_construction_flagged() {
+        assert_eq!(
+            codes("fn f() { let t = SimTime::from_secs_f64(0.5); }"),
+            vec![("MG008", 1)]
+        );
+        // The definition site itself is not a use.
+        assert!(codes("impl SimTime { fn from_secs_f64(s: f64) -> Self { todo!() } }").is_empty());
+    }
+
+    #[test]
+    fn float_scaling_and_nan_compares_flagged() {
+        assert_eq!(
+            codes("fn f(t: SimTime) { t.mul_f64(1.5); }"),
+            vec![("MG008", 1)]
+        );
+        assert_eq!(
+            codes("fn f(a: f64, b: f64) { a.partial_cmp(&b); }"),
+            vec![("MG008", 1)]
+        );
+    }
+
+    #[test]
+    fn float_time_comparison_flagged_but_plain_read_ok() {
+        assert_eq!(
+            codes("fn f(t: SimTime) -> bool { t.as_secs_f64() < 0.5 }"),
+            vec![("MG008", 1)]
+        );
+        assert!(codes("fn f(t: SimTime) -> f64 { t.as_secs_f64() }").is_empty());
+    }
+
+    // ----- MG009 -------------------------------------------------------
+
+    #[test]
+    fn loop_push_into_undrained_field_flagged() {
+        let src = "fn f(st: &mut S) {\n    loop {\n        st.pending.push(1);\n    }\n}\n";
+        assert_eq!(codes(src), vec![("MG009", 3)]);
+    }
+
+    #[test]
+    fn drained_field_is_fine() {
+        let src = "fn f(st: &mut S) {\n    loop {\n        st.pending.push(1);\n        while let Some(x) = st.pending.pop() { use_it(x); }\n    }\n}\n";
+        assert!(codes(src).is_empty());
+    }
+
+    #[test]
+    fn local_accumulator_push_is_fine() {
+        let src = "fn f() -> Vec<u32> {\n    let mut out = Vec::new();\n    for i in 0..4 { out.push(i); }\n    out\n}\n";
+        assert!(codes(src).is_empty());
+    }
+
+    #[test]
+    fn for_binding_alias_drain_exonerates() {
+        let src = "fn f(st: &mut S) {\n    loop {\n        st.bufs.push(1);\n        for buf in st.bufs.iter_mut() { handle(std::mem::take(buf)); }\n    }\n}\n";
+        assert!(codes(src).is_empty());
     }
 }

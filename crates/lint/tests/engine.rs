@@ -104,6 +104,53 @@ fn file_allowance_silences_the_vetted_module_only() {
 }
 
 #[test]
+fn alias_fixture_flags_import_and_every_use() {
+    // The v1 scanner matched the literal token `HashMap`, so
+    // `use std::collections::HashMap as AliasMap` hid the container from
+    // MG002 at every use site. The use-resolution table closes that
+    // blindspot: the import line AND both `AliasMap` uses are findings.
+    expect(
+        "bad_alias_hash.rs",
+        &[("MG002", 2), ("MG002", 4), ("MG002", 5)],
+    );
+    // Aliasing a deterministic-hasher container stays clean.
+    expect("good_alias_fx.rs", &[]);
+}
+
+#[test]
+fn atomics_fixture_exact_codes_and_lines() {
+    // Relaxed publish, unpaired Acquire, and a statically invalid
+    // load-with-Release; the annotated/paired twin is clean.
+    expect(
+        "bad_atomics.rs",
+        &[("MG006", 11), ("MG006", 14), ("MG006", 17)],
+    );
+    expect("good_atomics.rs", &[]);
+}
+
+#[test]
+fn hash_iter_fixture_exact_codes_and_lines() {
+    expect("bad_hash_iter.rs", &[("MG007", 11), ("MG007", 17)]);
+    expect("good_hash_iter.rs", &[]);
+}
+
+#[test]
+fn float_time_fixture_exact_codes_and_lines() {
+    // Line 13 compares two `as_secs_f64` reads, so it fires twice.
+    expect(
+        "bad_float_time.rs",
+        &[("MG008", 5), ("MG008", 9), ("MG008", 13), ("MG008", 13)],
+    );
+    expect("good_float_time.rs", &[]);
+}
+
+#[test]
+fn growth_fixture_exact_codes_and_lines() {
+    expect("bad_growth.rs", &[("MG009", 9)]);
+    expect("good_growth.rs", &[]);
+}
+
+#[test]
 fn clean_fixture_has_no_findings() {
     expect("good_clean.rs", &[]);
 }
@@ -139,15 +186,136 @@ fn workspace_scan_aggregates_fixtures_deterministically() {
     let a = lint_workspace(&root, &config).unwrap();
     let b = lint_workspace(&root, &config).unwrap();
     assert_eq!(a.findings, b.findings, "scan must be deterministic");
-    assert_eq!(a.files_scanned, 10);
+    assert_eq!(a.files_scanned, 20);
     // 4 wall-clock + 5 hash + 3 rand + 2 unsafe + 3 thread + 3 hygiene
-    // + 3 per shard-pool twin (no file allowance in this config).
-    assert_eq!(a.findings.len(), 26);
+    // + 3 per shard-pool twin (no file allowance in this config)
+    // + 3 alias + 3 atomics + 2 hash-iter + 4 float-time + 1 growth.
+    assert_eq!(a.findings.len(), 39);
     // Ordered by path: stable report output.
     let paths: Vec<&str> = a.findings.iter().map(|f| f.path.as_str()).collect();
     let mut sorted = paths.clone();
     sorted.sort();
     assert_eq!(paths, sorted);
+}
+
+#[test]
+fn fix_write_repairs_files_and_is_idempotent() {
+    let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let dir = std::env::temp_dir().join("mgrid-lint-test-fix");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    for f in ["bad_alias_hash.rs", "bad_hash_iter.rs"] {
+        std::fs::copy(fixtures.join(f), dir.join(f)).unwrap();
+    }
+    let cfg = dir.join("config.toml");
+    std::fs::write(&cfg, "[lint]\nsim-crates = [\"workspace\"]\nexclude = []\n").unwrap();
+    let run = |args: &[&str]| {
+        std::process::Command::new(env!("CARGO_BIN_EXE_mgrid-lint"))
+            .args(["--root"])
+            .arg(&dir)
+            .args(["--config"])
+            .arg(&cfg)
+            .args(args)
+            .output()
+            .expect("run mgrid-lint")
+    };
+
+    // Dry run: prints a diff, changes nothing on disk.
+    let before = std::fs::read_to_string(dir.join("bad_alias_hash.rs")).unwrap();
+    let out = run(&["--fix"]);
+    let diff = String::from_utf8(out.stdout).unwrap();
+    assert!(diff.contains("-use std::collections::HashMap as AliasMap;"));
+    assert!(diff.contains("+use mgrid_desim::FxHashMap as AliasMap;"));
+    assert!(
+        diff.contains("__sorted"),
+        "MG007 sort prelude in diff: {diff}"
+    );
+    assert_eq!(
+        before,
+        std::fs::read_to_string(dir.join("bad_alias_hash.rs")).unwrap(),
+        "dry run must not touch files"
+    );
+
+    // Apply: the fixable findings disappear from a fresh scan.
+    run(&["--fix", "--write"]);
+    let fixed = std::fs::read_to_string(dir.join("bad_alias_hash.rs")).unwrap();
+    assert!(fixed.contains("AliasMap::default()"), "{fixed}");
+    let out = run(&["--format", "json"]);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        !stdout.contains("\"code\":\"MG002\""),
+        "MG002 fixed: {stdout}"
+    );
+    // `lanes.keys().next()` has no mechanical rewrite, so MG007 remains
+    // — but only at that one unfixable site.
+    assert!(stdout.contains("\"total\":1"), "{stdout}");
+
+    // Idempotence: a second fix pass plans nothing.
+    let out = run(&["--fix"]);
+    assert!(
+        String::from_utf8(out.stdout).unwrap().is_empty(),
+        "second fix pass must produce an empty diff"
+    );
+}
+
+#[test]
+fn baseline_round_trip_suppresses_old_findings_only() {
+    let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let dir = std::env::temp_dir().join("mgrid-lint-test-baseline");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::copy(fixtures.join("bad_growth.rs"), dir.join("bad_growth.rs")).unwrap();
+    let cfg = dir.join("config.toml");
+    std::fs::write(
+        &cfg,
+        "[lint]\nsim-crates = [\"workspace\"]\nexclude = []\nbaseline = \"accepted.txt\"\n",
+    )
+    .unwrap();
+    let run = |args: &[&str]| {
+        std::process::Command::new(env!("CARGO_BIN_EXE_mgrid-lint"))
+            .args(["--root"])
+            .arg(&dir)
+            .args(["--config"])
+            .arg(&cfg)
+            .args(args)
+            .output()
+            .expect("run mgrid-lint")
+    };
+
+    // Without a baseline file the finding fails the run; --write-baseline
+    // accepts the current state and the next run is green.
+    assert_eq!(run(&[]).status.code(), Some(1));
+    assert_eq!(run(&["--write-baseline"]).status.code(), Some(0));
+    let accepted = std::fs::read_to_string(dir.join("accepted.txt")).unwrap();
+    assert!(accepted.contains("MG009 bad_growth.rs 1"), "{accepted}");
+    let out = run(&[]);
+    assert_eq!(out.status.code(), Some(0), "baselined run must be green");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("(1 baselined)"), "{stdout}");
+
+    // New findings are NOT absorbed: a fresh bad file still fails, and
+    // only its own findings are reported.
+    std::fs::copy(fixtures.join("bad_atomics.rs"), dir.join("bad_atomics.rs")).unwrap();
+    let out = run(&[]);
+    assert_eq!(out.status.code(), Some(1), "new findings must still fail");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("MG006"), "{stdout}");
+    assert!(
+        !stdout.contains("MG009"),
+        "old finding stays baselined: {stdout}"
+    );
+
+    // --no-baseline surfaces everything again.
+    let stdout = String::from_utf8(run(&["--no-baseline"]).stdout).unwrap();
+    assert!(stdout.contains("MG009"), "{stdout}");
+
+    // Stale entries are called out once the debt is paid off.
+    std::fs::remove_file(dir.join("bad_growth.rs")).unwrap();
+    std::fs::remove_file(dir.join("bad_atomics.rs")).unwrap();
+    let out = run(&[]);
+    assert_eq!(out.status.code(), Some(0));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("stale baseline entry"), "{stderr}");
 }
 
 #[test]
@@ -175,8 +343,8 @@ fn binary_exits_nonzero_on_bad_fixtures_and_zero_when_clean() {
         stdout.contains("\"code\":\"MG001\""),
         "json output: {stdout}"
     );
-    // 26 default findings minus good_shard_pool.rs's 3 (file allowance).
-    assert!(stdout.contains("\"total\":23"), "json output: {stdout}");
+    // 39 default findings minus good_shard_pool.rs's 3 (file allowance).
+    assert!(stdout.contains("\"total\":36"), "json output: {stdout}");
 
     // A scan restricted to the known-good fixtures exits 0 — including
     // the threaded module the config's file section vouches for.

@@ -1,0 +1,6 @@
+//! Known-bad fixture: aliasing a std hash container hides nothing.
+use std::collections::HashMap as AliasMap;
+
+fn build_alias() -> AliasMap<u32, u32> {
+    AliasMap::new()
+}

@@ -1,0 +1,19 @@
+//! Known-bad fixture: atomic orderings without pairing or annotation.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct Publisher {
+    flagx: AtomicU64,
+    seqno: AtomicU64,
+}
+
+impl Publisher {
+    fn publish(&self) {
+        self.flagx.store(1, Ordering::Relaxed);
+    }
+    fn acquire_only(&self) -> u64 {
+        self.seqno.load(Ordering::Acquire)
+    }
+    fn invalid(&self) -> u64 {
+        self.flagx.load(Ordering::Release)
+    }
+}

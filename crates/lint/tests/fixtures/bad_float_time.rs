@@ -1,0 +1,14 @@
+//! Known-bad fixture: float construction and NaN-capable time compares.
+use std::time::Duration;
+
+fn quantum(frac: f64) -> Duration {
+    Duration::from_secs_f64(frac)
+}
+
+fn stretch(d: Duration) -> Duration {
+    d.mul_f64(1.5)
+}
+
+fn later(a: Duration, b: Duration) -> bool {
+    a.as_secs_f64() > b.as_secs_f64()
+}

@@ -1,0 +1,12 @@
+//! Known-bad fixture: unbounded loop pushes into persistent state.
+struct Backlog {
+    inbox: Vec<u64>,
+}
+
+impl Backlog {
+    fn absorb(&mut self, items: &[u64]) {
+        for it in items {
+            self.inbox.push(*it);
+        }
+    }
+}

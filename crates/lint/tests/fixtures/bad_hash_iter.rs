@@ -1,0 +1,19 @@
+//! Known-bad fixture: hash-container iteration order leaks into output.
+use mgrid_desim::FxHashMap;
+
+struct Tracer {
+    lanes: FxHashMap<u32, u64>,
+}
+
+impl Tracer {
+    fn dump(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        for (_, v) in self.lanes.iter() {
+            out.push(*v);
+        }
+        out
+    }
+    fn first_key(&self) -> Option<u32> {
+        self.lanes.keys().next().copied()
+    }
+}

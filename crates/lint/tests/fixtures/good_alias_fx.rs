@@ -1,0 +1,6 @@
+//! Known-good fixture: aliasing a deterministic-hasher container is fine.
+use mgrid_desim::FxHashMap as Map;
+
+fn build_fx() -> Map<u32, u32> {
+    Map::default()
+}

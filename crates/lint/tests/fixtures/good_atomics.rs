@@ -1,0 +1,23 @@
+//! Known-good fixture: paired orderings, annotated Relaxed counters.
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+struct Gate {
+    latch: AtomicU64,
+    tally: AtomicUsize,
+}
+
+impl Gate {
+    fn open(&self, t: u64) {
+        // ORDERING: Release publishes the payload written before the
+        // store; paired with the Acquire load in `wait`.
+        self.latch.store(t, Ordering::Release);
+    }
+    fn wait(&self) -> u64 {
+        self.latch.load(Ordering::Acquire)
+    }
+    fn bump(&self) {
+        // ORDERING: Relaxed — the tally is a statistic read only after
+        // the worker joins; no payload is published through it.
+        self.tally.fetch_add(1, Ordering::Relaxed);
+    }
+}

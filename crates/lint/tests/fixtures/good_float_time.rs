@@ -1,0 +1,14 @@
+//! Known-good fixture: integer virtual time all the way down.
+use std::time::Duration;
+
+fn quantum(micros: u64) -> Duration {
+    Duration::from_micros(micros)
+}
+
+fn stretch(d: Duration) -> Duration {
+    d * 3 / 2
+}
+
+fn report(d: Duration) -> f64 {
+    d.as_secs_f64()
+}

@@ -1,0 +1,15 @@
+//! Known-good fixture: loop pushes paired with a drain.
+struct Mailbox {
+    queue: Vec<u64>,
+}
+
+impl Mailbox {
+    fn absorb(&mut self, items: &[u64]) {
+        for it in items {
+            self.queue.push(*it);
+        }
+    }
+    fn deliver(&mut self) -> Option<u64> {
+        self.queue.pop()
+    }
+}

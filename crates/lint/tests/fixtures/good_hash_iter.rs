@@ -1,0 +1,17 @@
+//! Known-good fixture: sorted collection or order-free reduction.
+use mgrid_desim::FxHashMap;
+
+struct Audit {
+    stamps: FxHashMap<u32, u64>,
+}
+
+impl Audit {
+    fn dump(&self) -> Vec<(u32, u64)> {
+        let mut rows: Vec<_> = self.stamps.iter().map(|(k, v)| (*k, *v)).collect();
+        rows.sort();
+        rows
+    }
+    fn total(&self) -> u64 {
+        self.stamps.values().sum()
+    }
+}

@@ -274,7 +274,7 @@ impl Topology {
         self.route(src, dst)?
             .iter()
             .map(|l| self.links[l.0].spec.bandwidth_bps)
-            .min_by(|a, b| a.partial_cmp(b).unwrap())
+            .min_by(|a, b| a.total_cmp(b))
     }
 
     /// Minimum propagation delay over links whose endpoints fall in
