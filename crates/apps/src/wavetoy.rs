@@ -63,6 +63,18 @@ const OPS_PER_CELL_STEP: f64 = 137.0;
 
 const HALO_TAG: i32 = 400;
 
+/// Cells owned by `rank` when the `n³`-cell cube is block-distributed
+/// over `p` ranks: truncating division would silently drop up to `p − 1`
+/// cells, so the remainder is spread one extra cell over the low ranks
+/// and the per-rank counts sum exactly to `n³`.
+fn local_cell_count(n: u64, p: usize, rank: usize) -> u64 {
+    let total = n * n * n;
+    let p = p as u64;
+    let base = total / p;
+    let rem = total % p;
+    base + u64::from((rank as u64) < rem)
+}
+
 /// Edge of the miniature real solve.
 const MINI_N: usize = 20;
 
@@ -71,7 +83,7 @@ pub async fn run(comm: Comm, config: WaveToyConfig, sensor: Option<Sensor>) -> W
     let p = comm.size();
     let rank = comm.rank();
     let n = config.grid_edge as u64;
-    let local_cells = n * n * n / p as u64;
+    let local_cells = local_cell_count(n, p, rank);
     let face_bytes = n * n * 8 + 64;
     let mops_per_step = local_cells as f64 * OPS_PER_CELL_STEP / 1e6;
     let up = if rank + 1 < p { Some(rank + 1) } else { None };
@@ -210,5 +222,26 @@ pub async fn run(comm: Comm, config: WaveToyConfig, sensor: Option<Sensor>) -> W
         // conservation from holding at the partition seams; 20% headroom
         // still catches any halo data corruption immediately.
         verified: drift < 0.2 && e1.is_finite(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_cells_sum_to_cube() {
+        // Including rank counts that do not divide n³ — the truncating
+        // division this replaces dropped up to p − 1 cells.
+        for (n, p) in [(50u64, 4usize), (250, 4), (7, 3), (10, 7), (3, 8), (1, 5)] {
+            let total: u64 = (0..p).map(|r| local_cell_count(n, p, r)).sum();
+            assert_eq!(total, n * n * n, "n={n} p={p}");
+            // Low ranks take the remainder, never more than one extra.
+            let counts: Vec<u64> = (0..p).map(|r| local_cell_count(n, p, r)).collect();
+            let min = *counts.iter().min().unwrap();
+            let max = *counts.iter().max().unwrap();
+            assert!(max - min <= 1, "n={n} p={p}: {counts:?}");
+            assert!(counts.windows(2).all(|w| w[0] >= w[1]), "{counts:?}");
+        }
     }
 }

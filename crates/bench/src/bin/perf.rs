@@ -26,7 +26,7 @@
 use std::collections::BTreeMap;
 use std::io::Write;
 
-use mgrid_bench::experiments::{apps, micro, network, npb, scale};
+use mgrid_bench::experiments::{apps, micro, network, npb, route, scale};
 use mgrid_bench::runner::fast_mode;
 use microgrid::desim::time::SimDuration;
 use microgrid::desim::vclock::VirtualClock;
@@ -83,6 +83,36 @@ struct ParMeasurements {
     par_speedup: BTreeMap<String, f64>,
 }
 
+/// The demand-driven route cache against the eager all-pairs baseline,
+/// on the large-grid stress topology (`experiments::route`).
+#[derive(Serialize, Deserialize, Clone, Default)]
+struct RouteMeasurements {
+    /// Virtual hosts in the stress grid.
+    stress_hosts: usize,
+    /// Total nodes (hosts + backbone routers).
+    stress_nodes: usize,
+    /// Wall milliseconds to build the topology (lazy: no routes computed).
+    build_ms: f64,
+    /// Wall milliseconds to build *and* warm every source's table — the
+    /// old eager all-pairs behaviour.
+    eager_build_ms: f64,
+    /// `eager_build_ms / build_ms` (> 1 means lazy construction is faster).
+    build_speedup: f64,
+    /// Route queries per wall second through the demand-driven cache,
+    /// including the cache-warming Dijkstras the workload triggers.
+    queries_per_sec: f64,
+    /// Route-cache bytes resident after the query workload.
+    bytes_resident: u64,
+    /// Route-table bytes of the eager all-pairs computation.
+    eager_bytes_resident: u64,
+    /// `eager_bytes_resident / bytes_resident` (> 1 means less memory).
+    memory_ratio: f64,
+    /// FNV-1a digest of every routed path (hex) — byte-identical across
+    /// runs and shard counts; anchors the `--route-smoke` determinism
+    /// check.
+    digest: String,
+}
+
 #[derive(Serialize, Deserialize, Clone, Default)]
 struct Speedup {
     /// Baseline total figure time / current total figure time.
@@ -105,6 +135,9 @@ struct BenchFile {
     /// Sharded-run results; `None` in files written before the sharded
     /// engine existed (older JSON parses with the field absent).
     par: Option<ParMeasurements>,
+    /// Large-grid route-cache results; `None` in files written before
+    /// the demand-driven cache existed.
+    route: Option<RouteMeasurements>,
 }
 
 fn bench_timer_events() -> f64 {
@@ -364,6 +397,39 @@ fn measure_par(serial: &Measurements) -> ParMeasurements {
     par
 }
 
+/// Measure the demand-driven route cache on the large-grid stress
+/// topology, against the eager all-pairs baseline it replaced.
+fn measure_route() -> RouteMeasurements {
+    eprintln!(
+        "route: large-grid stress ({} hosts) ...",
+        route::STRESS_HOSTS
+    );
+    let t0 = std::time::Instant::now();
+    let (topo, hosts) = route::stress_topology();
+    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let tq = std::time::Instant::now();
+    let digest = route::query_workload(&topo, &hosts, route::STRESS_SEED);
+    let queries_per_sec = route::STRESS_QUERIES as f64 / tq.elapsed().as_secs_f64();
+    let bytes_resident = topo.route_bytes_resident() as u64;
+    let te = std::time::Instant::now();
+    let (eager, _) = route::stress_topology();
+    eager.warm_all_routes();
+    let eager_build_ms = te.elapsed().as_secs_f64() * 1e3;
+    let eager_bytes_resident = eager.route_bytes_resident() as u64;
+    RouteMeasurements {
+        stress_hosts: hosts.len(),
+        stress_nodes: topo.node_count(),
+        build_ms,
+        eager_build_ms,
+        build_speedup: ratio(eager_build_ms, build_ms),
+        queries_per_sec,
+        bytes_resident,
+        eager_bytes_resident,
+        memory_ratio: ratio(eager_bytes_resident as f64, bytes_resident as f64),
+        digest: format!("{digest:016x}"),
+    }
+}
+
 fn ratio(num: f64, den: f64) -> f64 {
     if den > 0.0 {
         num / den
@@ -382,6 +448,10 @@ fn ratio(num: f64, den: f64) -> f64 {
 ///   sharding made a figure *slower* on a machine that had cores to use.
 ///   On a 1-core machine the `par` section is advisory and exempt: the
 ///   speedups are bounded by the hardware, not the engine.
+/// * A `route` section whose stress grid neither built ≥10x faster nor
+///   held ≥10x less routing memory than the eager all-pairs baseline —
+///   the demand-driven cache's reason to exist. (Wall time is noisy on
+///   shared runners; memory is exact, so the OR keeps the gate fair.)
 fn validate(file: &BenchFile) -> Vec<String> {
     let mut errs = Vec::new();
     if !file.fast_mode && file.speedup.repro_total > 0.0 && file.speedup.repro_total < 0.9 {
@@ -400,6 +470,15 @@ fn validate(file: &BenchFile) -> Vec<String> {
                     ));
                 }
             }
+        }
+    }
+    if let Some(r) = &file.route {
+        if r.build_speedup < 10.0 && r.memory_ratio < 10.0 {
+            errs.push(format!(
+                "route stress: build_speedup {:.1} and memory_ratio {:.1} both below 10x \
+                 vs the eager all-pairs baseline",
+                r.build_speedup, r.memory_ratio
+            ));
         }
     }
     errs
@@ -434,6 +513,27 @@ fn main() {
             }
             "--set-baseline" => set_baseline = true,
             "--check" => check = true,
+            "--route-smoke" => {
+                // The CI large-grid smoke: the stress workload must
+                // digest byte-identically on the sequential engine and
+                // with MGRID_SHARDS=2.
+                match route::shard_smoke() {
+                    Ok(digests) => {
+                        println!(
+                            "route smoke: {} hosts, digests {:016x} {:016x}, \
+                             sequential == 2-shard",
+                            route::STRESS_HOSTS,
+                            digests[0],
+                            digests[1]
+                        );
+                        std::process::exit(0);
+                    }
+                    Err(e) => {
+                        eprintln!("route smoke FAILED: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
             "--check-file" => {
                 let path = it.next().unwrap_or_else(|| {
                     eprintln!("--check-file needs a file path");
@@ -450,7 +550,10 @@ fn main() {
                 enforce(&file);
             }
             "--help" | "-h" => {
-                println!("usage: perf [--out FILE] [--set-baseline] [--check] [--check-file FILE]");
+                println!(
+                    "usage: perf [--out FILE] [--set-baseline] [--check] [--check-file FILE] \
+                     [--route-smoke]"
+                );
                 return;
             }
             other => {
@@ -462,6 +565,7 @@ fn main() {
 
     let current = measure();
     let par = measure_par(&current);
+    let route = measure_route();
 
     // Preserve an existing baseline unless re-anchoring was requested.
     let baseline = out
@@ -484,6 +588,7 @@ fn main() {
         baseline,
         current,
         par: Some(par),
+        route: Some(route),
     };
 
     println!("== simulation core performance ==");
@@ -535,6 +640,22 @@ fn main() {
                     .unwrap_or(0)
             );
         }
+    }
+
+    if let Some(r) = &file.route {
+        println!(
+            "-- route cache ({} hosts, {} nodes) --",
+            r.stress_hosts, r.stress_nodes
+        );
+        println!(
+            "build    {:>12.1} ms  (eager all-pairs {:.1} ms, {:.0}x faster)",
+            r.build_ms, r.eager_build_ms, r.build_speedup
+        );
+        println!(
+            "resident {:>12} B   (eager {} B, {:.0}x less)",
+            r.bytes_resident, r.eager_bytes_resident, r.memory_ratio
+        );
+        println!("queries  {:>12.0} /s", r.queries_per_sec);
     }
 
     if let Some(path) = out {

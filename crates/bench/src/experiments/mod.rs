@@ -6,4 +6,5 @@ pub mod chaos;
 pub mod micro;
 pub mod network;
 pub mod npb;
+pub mod route;
 pub mod scale;

@@ -29,6 +29,14 @@ pub struct RatePlan {
     pub chosen: f64,
 }
 
+/// Sort CPU bounds ascending by feasible rate, host name as tie-break.
+/// `total_cmp` keeps the order total even if a bound is NaN (e.g. a
+/// degraded-speed fraction dividing 0/0), so a degenerate bound sorts
+/// last deterministically instead of panicking the coordinator.
+pub(crate) fn sort_cpu_bounds(bounds: &mut [(String, f64)]) {
+    bounds.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+}
+
 /// Compute the feasible bound and select the rate per the config's policy.
 pub fn plan_rate(config: &GridConfig) -> Result<RatePlan, ConfigError> {
     config.validate()?;
@@ -45,7 +53,7 @@ pub fn plan_rate(config: &GridConfig) -> Result<RatePlan, ConfigError> {
                 .map(|v| (p.name.clone(), p.speed_mops / v))
         })
         .collect();
-    cpu_bounds.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+    sort_cpu_bounds(&mut cpu_bounds);
     let feasible = cpu_bounds.first().map(|(_, r)| *r).unwrap_or(f64::INFINITY);
     let chosen = match config.rate {
         RatePolicy::Auto { safety } => {
@@ -152,6 +160,27 @@ mod tests {
         }];
         let err = plan_rate(&c).unwrap_err();
         assert_eq!(err, ConfigError::NonPositiveSpeed("v0".into()));
+    }
+
+    #[test]
+    fn nan_bound_sorts_without_panicking() {
+        // plan_rate's validation rejects NaN speeds at the config layer,
+        // but the sort must stay total on its own: a NaN bound (0/0 from
+        // a fully degraded host) used to panic `partial_cmp(..).unwrap()`.
+        let mut bounds = vec![
+            ("pb".to_string(), f64::NAN),
+            ("pa".to_string(), 2.0),
+            ("pc".to_string(), f64::NAN),
+            ("pd".to_string(), 0.5),
+        ];
+        sort_cpu_bounds(&mut bounds);
+        assert_eq!(bounds[0].0, "pd");
+        assert_eq!(bounds[1].0, "pa");
+        // NaN sorts after every finite value under total_cmp, names break
+        // the tie deterministically.
+        assert_eq!(bounds[2].0, "pb");
+        assert_eq!(bounds[3].0, "pc");
+        assert!(bounds[2].1.is_nan() && bounds[3].1.is_nan());
     }
 
     #[test]

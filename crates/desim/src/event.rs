@@ -155,6 +155,17 @@ pub enum Event {
         /// Virtual-time nanoseconds the collective took.
         elapsed_ns: u64,
     },
+    /// A hop-by-hop route walk revisited more nodes than the topology
+    /// holds — a routing loop (should be impossible with consistent
+    /// first-hop tables; emitted instead of failing silently).
+    RouteLoop {
+        /// Source node index of the walk.
+        src: usize,
+        /// Destination node index of the walk.
+        dst: usize,
+        /// Node index the walk stood at when the loop was detected.
+        at: usize,
+    },
     /// The fault injector fired one scripted fault.
     FaultInjected {
         /// Stable fault-kind name (`"link_down"`, `"host_crash"`, …).
@@ -179,7 +190,8 @@ impl Event {
             Event::QuantumGrant { .. } | Event::QuantumPreempt { .. } => Category::Sched,
             Event::PacketEnqueue { .. }
             | Event::PacketDequeue { .. }
-            | Event::PacketDrop { .. } => Category::Net,
+            | Event::PacketDrop { .. }
+            | Event::RouteLoop { .. } => Category::Net,
             Event::VsockSend { .. } | Event::VsockRecv { .. } => Category::Vsock,
             Event::MemAlloc { .. } | Event::MemDeny { .. } => Category::Mem,
             Event::CollectiveStart { .. }
@@ -198,6 +210,7 @@ impl Event {
             Event::PacketEnqueue { .. } => "packet_enqueue",
             Event::PacketDequeue { .. } => "packet_dequeue",
             Event::PacketDrop { .. } => "packet_drop",
+            Event::RouteLoop { .. } => "route_loop",
             Event::VsockSend { .. } => "vsock_send",
             Event::VsockRecv { .. } => "vsock_recv",
             Event::MemAlloc { .. } => "mem_alloc",
@@ -306,6 +319,11 @@ impl Event {
             } => {
                 field_num("ranks", *ranks as u64);
                 field_num("elapsed_ns", *elapsed_ns);
+            }
+            Event::RouteLoop { src, dst, at } => {
+                field_num("src", *src as u64);
+                field_num("dst", *dst as u64);
+                field_num("at", *at as u64);
             }
             Event::FaultInjected { .. } => {}
             Event::RankTimeout { rank, waited_ns } => {

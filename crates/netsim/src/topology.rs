@@ -1,16 +1,33 @@
-//! Network topology: nodes, links, and static shortest-path routing.
+//! Network topology: nodes, links, and demand-driven shortest-path routing.
 //!
 //! The paper's network simulator (VINT/NSE) "allows definition of an
 //! arbitrary network configuration" and delivers live traffic "to the right
 //! destination with the right delay" (§2.4.2). We model topologies as
 //! graphs of hosts and routers joined by duplex links with bandwidth,
-//! propagation delay, and a bounded FIFO queue; routes are static shortest
-//! paths (Dijkstra on propagation delay, hop count as tie-break), computed
-//! when the topology is frozen.
+//! propagation delay, and a bounded FIFO queue.
+//!
+//! Routes are static shortest paths (Dijkstra on propagation delay, hop
+//! count as first tie-break), but they are **not** precomputed: building
+//! the all-pairs `next_hop` matrix eagerly is O(N·(E log N)) time and
+//! O(N²) memory, which dominates construction long before the
+//! thousand-host grids the paper's scalability claim is about. Instead
+//! [`Topology::next_hop`] computes the per-source first-hop table lazily
+//! on the first query from that source and memoizes it — the shape
+//! SSFNet-style simulators use to route large topologies on demand.
+//!
+//! Determinism: equal-cost paths are broken lexicographically by
+//! `(delay, hops, link id)` — among optimal predecessors of a node the
+//! minimal incoming link id wins — so the cached tables are a pure
+//! function of the topology, independent of query order, shard count, or
+//! hash-map iteration order.
+
+use std::cell::RefCell;
+use std::cmp::Ordering;
 
 use serde::{Deserialize, Serialize};
 
 use mgrid_desim::time::SimDuration;
+use mgrid_desim::{obs, Counter, Event, FxHashMap};
 
 /// Index of a node in the topology.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, Serialize, Deserialize)]
@@ -81,13 +98,60 @@ pub(crate) struct LinkInfo {
     pub to: NodeId,
 }
 
-/// An immutable, routed topology.
-#[derive(Clone, Debug)]
+/// Counters for the route cache, resolved against the current
+/// simulation's metrics registry when the topology is built (detached —
+/// counted but never snapshotted — when built outside a simulation).
+#[derive(Clone)]
+struct RouteMetrics {
+    /// `net.route_cache_hits`: first-hop queries served from a cached table.
+    hits: Counter,
+    /// `net.route_cache_misses`: first-hop queries that had to compute.
+    misses: Counter,
+    /// `net.route_src_computed`: per-source Dijkstra runs (misses + warming).
+    src_computed: Counter,
+}
+
+impl RouteMetrics {
+    fn resolve() -> Self {
+        RouteMetrics {
+            hits: obs::counter_handle("net.route_cache_hits"),
+            misses: obs::counter_handle("net.route_cache_misses"),
+            src_computed: obs::counter_handle("net.route_src_computed"),
+        }
+    }
+}
+
+/// An immutable topology with a demand-driven route cache.
+///
+/// Construction is O(nodes + links): no routes are computed until the
+/// first [`Topology::next_hop`] / [`Topology::route`] query, and each
+/// source's first-hop table is computed exactly once (one Dijkstra) and
+/// memoized. See the module docs for the determinism guarantee.
+#[derive(Clone)]
 pub struct Topology {
     pub(crate) nodes: Vec<NodeInfo>,
     pub(crate) links: Vec<LinkInfo>,
-    /// `next_hop[src][dst]` = first directed link on the path, if reachable.
-    pub(crate) next_hop: Vec<Vec<Option<LinkId>>>,
+    /// Outgoing adjacency per node, in link-id order.
+    adj: Vec<Vec<(LinkId, NodeId, SimDuration)>>,
+    /// Name → node index (first occurrence wins, matching the old scan).
+    by_name: FxHashMap<String, NodeId>,
+    /// Normalized `(min, max)` node pair → directed links joining them,
+    /// in link-id order.
+    pair_links: FxHashMap<(NodeId, NodeId), Vec<LinkId>>,
+    /// Lazily filled per-source first-hop tables: `cache[src][dst]` is
+    /// the first directed link from `src` towards `dst`.
+    cache: RefCell<FxHashMap<usize, Vec<Option<LinkId>>>>,
+    m: RouteMetrics,
+}
+
+impl std::fmt::Debug for Topology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Topology")
+            .field("nodes", &self.nodes)
+            .field("links", &self.links)
+            .field("routed_sources", &self.cache.borrow().len())
+            .finish()
+    }
 }
 
 /// Builder for [`Topology`].
@@ -148,46 +212,29 @@ impl TopologyBuilder {
         id
     }
 
-    /// Freeze the topology and compute routes.
+    /// Freeze the topology. O(nodes + links): builds the adjacency and
+    /// lookup indexes only — routes are computed on demand per source.
     pub fn build(self) -> Topology {
         let n = self.nodes.len();
         let mut adj: Vec<Vec<(LinkId, NodeId, SimDuration)>> = vec![Vec::new(); n];
+        let mut pair_links: FxHashMap<(NodeId, NodeId), Vec<LinkId>> = FxHashMap::default();
         for (i, l) in self.links.iter().enumerate() {
             adj[l.from.0].push((LinkId(i), l.to, l.spec.delay));
+            let key = (l.from.min(l.to), l.from.max(l.to));
+            pair_links.entry(key).or_default().push(LinkId(i));
         }
-        // All-destinations Dijkstra from every node; costs are
-        // (delay_nanos, hops) compared lexicographically.
-        let mut next_hop = vec![vec![None; n]; n];
-        for src in 0..n {
-            let mut dist: Vec<(u64, u32)> = vec![(u64::MAX, u32::MAX); n];
-            let mut first: Vec<Option<LinkId>> = vec![None; n];
-            let mut heap = std::collections::BinaryHeap::new();
-            dist[src] = (0, 0);
-            heap.push(std::cmp::Reverse(((0u64, 0u32), src, None::<LinkId>)));
-            while let Some(std::cmp::Reverse((d, u, via))) = heap.pop() {
-                if d > dist[u] {
-                    continue;
-                }
-                first[u] = via;
-                for &(lid, v, delay) in &adj[u] {
-                    let nd = (d.0 + delay.as_nanos().max(1), d.1 + 1);
-                    if nd < dist[v.0] {
-                        dist[v.0] = nd;
-                        let via0 = via.or(Some(lid));
-                        heap.push(std::cmp::Reverse((nd, v.0, via0)));
-                    }
-                }
-            }
-            for dst in 0..n {
-                if dst != src {
-                    next_hop[src][dst] = first[dst];
-                }
-            }
+        let mut by_name: FxHashMap<String, NodeId> = FxHashMap::default();
+        for (i, node) in self.nodes.iter().enumerate() {
+            by_name.entry(node.name.clone()).or_insert(NodeId(i));
         }
         Topology {
             nodes: self.nodes,
             links: self.links,
-            next_hop,
+            adj,
+            by_name,
+            pair_links,
+            cache: RefCell::new(FxHashMap::default()),
+            m: RouteMetrics::resolve(),
         }
     }
 }
@@ -208,20 +255,16 @@ impl Topology {
         &self.nodes[id.0].name
     }
 
-    /// Node with the given name, if any.
+    /// Node with the given name, if any (first added wins on duplicates).
     pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
-        self.nodes.iter().position(|n| n.name == name).map(NodeId)
+        self.by_name.get(name).copied()
     }
 
     /// Both directed links joining `a` and `b` (either direction), in
     /// link-index order. Empty if the nodes are not adjacent.
     pub fn links_between(&self, a: NodeId, b: NodeId) -> Vec<LinkId> {
-        self.links
-            .iter()
-            .enumerate()
-            .filter(|(_, l)| (l.from == a && l.to == b) || (l.from == b && l.to == a))
-            .map(|(i, _)| LinkId(i))
-            .collect()
+        let key = (a.min(b), a.max(b));
+        self.pair_links.get(&key).cloned().unwrap_or_default()
     }
 
     /// Endpoints `(from, to)` of a directed link.
@@ -239,22 +282,131 @@ impl Topology {
         &self.links[id.0].spec
     }
 
-    /// First directed link on the route from `src` to `dst`.
-    pub fn next_hop(&self, src: NodeId, dst: NodeId) -> Option<LinkId> {
-        self.next_hop[src.0][dst.0]
+    /// One Dijkstra from `src`, returning the first-hop table.
+    ///
+    /// Costs are `(delay_nanos, hops)` compared lexicographically; among
+    /// equal-cost optimal predecessors of a node the minimal incoming
+    /// link id wins. Every predecessor has strictly smaller cost than the
+    /// node it relaxes (delay is clamped to ≥ 1 ns per hop), so all
+    /// equal-cost parent offers arrive before a node is settled and the
+    /// choice is independent of heap pop order.
+    fn compute_source(&self, src: NodeId) -> Vec<Option<LinkId>> {
+        let n = self.nodes.len();
+        let mut dist: Vec<(u64, u32)> = vec![(u64::MAX, u32::MAX); n];
+        let mut parent: Vec<Option<LinkId>> = vec![None; n];
+        let mut settled = vec![false; n];
+        let mut order: Vec<usize> = Vec::with_capacity(n);
+        let mut heap = std::collections::BinaryHeap::new();
+        dist[src.0] = (0, 0);
+        heap.push(std::cmp::Reverse(((0u64, 0u32), src.0)));
+        while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
+            if settled[u] {
+                continue;
+            }
+            settled[u] = true;
+            order.push(u);
+            for &(lid, v, delay) in &self.adj[u] {
+                let nd = (d.0 + delay.as_nanos().max(1), d.1 + 1);
+                match nd.cmp(&dist[v.0]) {
+                    Ordering::Less => {
+                        dist[v.0] = nd;
+                        parent[v.0] = Some(lid);
+                        heap.push(std::cmp::Reverse((nd, v.0)));
+                    }
+                    Ordering::Equal if !settled[v.0] && parent[v.0].is_none_or(|p| lid < p) => {
+                        parent[v.0] = Some(lid);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // Fold parent pointers into first hops in settle order: a node's
+        // first hop is its parent's first hop, or the parent link itself
+        // when the parent is the source.
+        let mut first: Vec<Option<LinkId>> = vec![None; n];
+        for &u in &order {
+            if u == src.0 {
+                continue;
+            }
+            let p = parent[u].expect("settled non-source node has a parent link");
+            let from = self.links[p.0].from;
+            first[u] = if from == src { Some(p) } else { first[from.0] };
+        }
+        first
     }
 
-    /// Full route (sequence of directed links) from `src` to `dst`.
+    /// First directed link on the route from `src` to `dst`, computing
+    /// and memoizing `src`'s table on first use.
+    pub fn next_hop(&self, src: NodeId, dst: NodeId) -> Option<LinkId> {
+        let mut cache = self.cache.borrow_mut();
+        if let Some(table) = cache.get(&src.0) {
+            self.m.hits.add(1);
+            return table[dst.0];
+        }
+        self.m.misses.add(1);
+        self.m.src_computed.add(1);
+        let table = self.compute_source(src);
+        let hop = table[dst.0];
+        cache.insert(src.0, table);
+        hop
+    }
+
+    /// Compute and memoize `src`'s first-hop table if absent, without
+    /// counting a cache hit or miss (counts towards
+    /// `net.route_src_computed`). Used to pre-warm caches and to measure
+    /// the eager all-pairs baseline in benchmarks.
+    pub fn warm_routes_from(&self, src: NodeId) {
+        let mut cache = self.cache.borrow_mut();
+        cache.entry(src.0).or_insert_with(|| {
+            self.m.src_computed.add(1);
+            self.compute_source(src)
+        });
+    }
+
+    /// Warm every source's table — the eager all-pairs computation the
+    /// lazy cache replaces. Benchmarks use this as the baseline cost.
+    pub fn warm_all_routes(&self) {
+        for src in 0..self.nodes.len() {
+            self.warm_routes_from(NodeId(src));
+        }
+    }
+
+    /// Number of sources whose first-hop tables are currently cached.
+    pub fn routed_sources(&self) -> usize {
+        self.cache.borrow().len()
+    }
+
+    /// Bytes resident in the route cache (first-hop table payloads).
+    /// Derived from the cached-source count, not map iteration, so the
+    /// figure is deterministic.
+    pub fn route_bytes_resident(&self) -> usize {
+        self.routed_sources() * self.nodes.len() * std::mem::size_of::<Option<LinkId>>()
+    }
+
+    /// Full route (sequence of directed links) from `src` to `dst`,
+    /// walked hop-by-hop with [`Topology::next_hop`] — exactly the path a
+    /// packet forwarded per-hop takes.
+    ///
+    /// A valid route visits each node at most once, so it has at most
+    /// `N − 1` links; needing one more means the first-hop tables chain
+    /// into a cycle. That should be impossible (every hop strictly
+    /// decreases the remaining distance), so it is reported as an
+    /// [`Event::RouteLoop`] trace event rather than silently.
     pub fn route(&self, src: NodeId, dst: NodeId) -> Option<Vec<LinkId>> {
         let mut path = Vec::new();
         let mut cur = src;
         while cur != dst {
-            let lid = self.next_hop[cur.0][dst.0]?;
+            if path.len() + 1 >= self.nodes.len() {
+                obs::emit(|| Event::RouteLoop {
+                    src: src.0,
+                    dst: dst.0,
+                    at: cur.0,
+                });
+                return None;
+            }
+            let lid = self.next_hop(cur, dst)?;
             path.push(lid);
             cur = self.links[lid.0].to;
-            if path.len() > self.nodes.len() {
-                return None; // routing loop: should be impossible
-            }
         }
         Some(path)
     }
@@ -284,6 +436,9 @@ impl Topology {
     /// Any cross-shard packet spends at least this long in flight, so a
     /// shard that has processed everything up to time `t` cannot receive
     /// an import earlier than `t + lookahead`.
+    ///
+    /// Works directly off the link list (not the route cache), so it
+    /// never triggers route computation.
     ///
     /// # Examples
     ///
@@ -318,7 +473,8 @@ impl Topology {
     /// These are exactly the links whose latency bounds a sharded run's
     /// lookahead ([`Topology::min_cut_latency`] is their minimum delay)
     /// and whose fault state drives adaptive lookahead
-    /// (`Network::outgoing_cut_lookahead`).
+    /// (`Network::outgoing_cut_lookahead`). Works off the link list, not
+    /// the route cache.
     pub fn cut_links(&self, group: impl Fn(NodeId) -> usize) -> Vec<LinkId> {
         (0..self.links.len())
             .filter(|&i| {
@@ -435,5 +591,126 @@ mod tests {
                 assert!(route.len() <= 6);
             }
         }
+    }
+
+    #[test]
+    fn build_computes_no_routes_until_queried() {
+        let mut b = TopologyBuilder::new();
+        let a = b.host("a");
+        let r = b.router("r");
+        let c = b.host("c");
+        b.link(a, r, LinkSpec::new(1e8, ms(1)));
+        b.link(r, c, LinkSpec::new(1e8, ms(1)));
+        let t = b.build();
+        assert_eq!(t.routed_sources(), 0);
+        assert_eq!(t.route_bytes_resident(), 0);
+        assert!(t.next_hop(a, c).is_some());
+        assert_eq!(t.routed_sources(), 1);
+        // route() walks a->r->c: warms r's table too, but not c's.
+        assert!(t.route(a, c).is_some());
+        assert_eq!(t.routed_sources(), 2);
+        assert!(t.route_bytes_resident() > 0);
+    }
+
+    #[test]
+    fn lookup_indexes_match_scans() {
+        let mut b = TopologyBuilder::new();
+        let a = b.host("a");
+        let r = b.router("r");
+        let c = b.host("c");
+        let (ar, ra) = b.link(a, r, LinkSpec::new(1e8, ms(1)));
+        b.link(r, c, LinkSpec::new(1e8, ms(1)));
+        let extra = b.directed_link(a, r, LinkSpec::new(1e6, ms(9)));
+        let t = b.build();
+        assert_eq!(t.node_by_name("a"), Some(a));
+        assert_eq!(t.node_by_name("r"), Some(r));
+        assert_eq!(t.node_by_name("nope"), None);
+        // Both directions plus the extra directed link, in link-id order,
+        // queried either way round.
+        assert_eq!(t.links_between(a, r), vec![ar, ra, extra]);
+        assert_eq!(t.links_between(r, a), vec![ar, ra, extra]);
+        assert_eq!(t.links_between(a, c), vec![]);
+    }
+
+    #[test]
+    fn equal_cost_tie_breaks_are_stable_across_query_orders() {
+        // Two disjoint equal-cost paths s->x->d and s->y->d (same delay,
+        // same hops): the chosen route must be identical no matter which
+        // queries warmed the cache first.
+        let build = || {
+            let mut b = TopologyBuilder::new();
+            let s = b.host("s");
+            let d = b.host("d");
+            let x = b.router("x");
+            let y = b.router("y");
+            b.link(s, x, LinkSpec::new(1e8, ms(3)));
+            b.link(x, d, LinkSpec::new(1e8, ms(3)));
+            b.link(s, y, LinkSpec::new(1e8, ms(3)));
+            b.link(y, d, LinkSpec::new(1e8, ms(3)));
+            (b.build(), s, d, x, y)
+        };
+        let (t1, s1, d1, ..) = build();
+        let fresh = t1.route(s1, d1).unwrap();
+        let (t2, s2, d2, x2, y2) = build();
+        // Warm unrelated sources first, in a different order.
+        t2.warm_routes_from(y2);
+        t2.warm_routes_from(d2);
+        t2.warm_routes_from(x2);
+        assert_eq!(t2.route(s2, d2).unwrap(), fresh);
+        // The lexicographic (delay, hops, link-id) rule picks the path
+        // through x — its links were added first.
+        assert_eq!(t1.links[fresh[0].0].to, x2);
+    }
+
+    #[test]
+    fn route_cache_metrics_flow_into_sim_registry() {
+        let mut sim = mgrid_desim::Simulation::new(7);
+        let obs = sim.obs().clone();
+        sim.block_on(async {
+            let mut b = TopologyBuilder::new();
+            let a = b.host("a");
+            let r = b.router("r");
+            let c = b.host("c");
+            b.link(a, r, LinkSpec::new(1e8, ms(1)));
+            b.link(r, c, LinkSpec::new(1e8, ms(1)));
+            let t = b.build();
+            assert!(t.next_hop(a, c).is_some()); // miss
+            assert!(t.next_hop(a, c).is_some()); // hit
+            t.warm_all_routes();
+        });
+        assert_eq!(obs.metrics().counter("net.route_cache_misses"), 1);
+        assert_eq!(obs.metrics().counter("net.route_cache_hits"), 1);
+        // 1 miss + warming the remaining 2 sources.
+        assert_eq!(obs.metrics().counter("net.route_src_computed"), 3);
+    }
+
+    #[test]
+    fn poisoned_cache_loop_is_detected_and_traced() {
+        // Hand-poison the cache with first-hop tables that chain a->r,
+        // r->a for destination c: the walk must stop after N-1 links and
+        // emit a RouteLoop event instead of spinning or silently failing.
+        let mut sim = mgrid_desim::Simulation::new(7);
+        sim.obs().enable_tracing(16);
+        let obs = sim.obs().clone();
+        sim.block_on(async {
+            let mut b = TopologyBuilder::new();
+            let a = b.host("a");
+            let r = b.router("r");
+            let c = b.host("c");
+            let (ar, ra) = b.link(a, r, LinkSpec::new(1e8, ms(1)));
+            b.link(r, c, LinkSpec::new(1e8, ms(1)));
+            let t = b.build();
+            {
+                let mut cache = t.cache.borrow_mut();
+                cache.insert(a.0, vec![None, Some(ar), Some(ar)]);
+                cache.insert(r.0, vec![Some(ra), None, Some(ra)]);
+            }
+            assert_eq!(t.route(a, c), None);
+        });
+        let loops = obs
+            .tracer()
+            .events_in(mgrid_desim::event::Category::Net)
+            .len();
+        assert_eq!(loops, 1, "exactly one RouteLoop event must be traced");
     }
 }

@@ -128,6 +128,100 @@ proptest! {
         }
     }
 
+    /// The demand-driven route cache is byte-identical to an eager
+    /// all-pairs computation and to an independent reference.
+    ///
+    /// Random graphs with every link at the same delay (so equal-cost
+    /// ties abound): (a) each cached route is optimal under the
+    /// lexicographic `(delay, hops)` cost of an independent
+    /// Floyd–Warshall; (b) the full first-hop tables of a lazily queried
+    /// topology, an eagerly warmed one (`warm_all_routes`, the old
+    /// all-pairs behaviour), and a second same-spec build queried in
+    /// reverse order are all identical — tie-breaks depend only on the
+    /// topology, never on query order or cache state.
+    #[test]
+    fn route_cache_matches_reference_all_pairs(
+        n_hosts in 2usize..6,
+        extra_edges in prop::collection::vec((0usize..9, 0usize..9), 0..10),
+    ) {
+        let delay = SimDuration::from_millis(1);
+        let n = n_hosts + 3;
+        // Spanning chain plus random extras, all the same delay.
+        let mut edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        for &(x, y) in &extra_edges {
+            let (a, c) = (x % n, y % n);
+            if a != c {
+                edges.push((a, c));
+            }
+        }
+        let build = || {
+            let mut b = TopologyBuilder::new();
+            let all: Vec<NodeId> = (0..n)
+                .map(|i| if i < n_hosts { b.host(format!("h{i}")) } else { b.router(format!("r{i}")) })
+                .collect();
+            for &(a, c) in &edges {
+                b.link(all[a], all[c], LinkSpec::new(1e8, delay));
+            }
+            b.build()
+        };
+
+        // Independent reference: Floyd–Warshall over (delay_ns, hops).
+        let inf = (u64::MAX, u32::MAX);
+        let mut dist = vec![vec![inf; n]; n];
+        for (d, row) in dist.iter_mut().enumerate() {
+            row[d] = (0, 0);
+        }
+        for &(a, c) in &edges {
+            let w = (delay.as_nanos(), 1u32);
+            dist[a][c] = dist[a][c].min(w);
+            dist[c][a] = dist[c][a].min(w);
+        }
+        for k in 0..n {
+            for i in 0..n {
+                for j in 0..n {
+                    if dist[i][k] != inf && dist[k][j] != inf {
+                        let via = (dist[i][k].0 + dist[k][j].0, dist[i][k].1 + dist[k][j].1);
+                        dist[i][j] = dist[i][j].min(via);
+                    }
+                }
+            }
+        }
+
+        let lazy = build();
+        for (s, dist_s) in dist.iter().enumerate() {
+            for (d, &ref_sd) in dist_s.iter().enumerate() {
+                if s == d { continue; }
+                let route = lazy.route(NodeId(s), NodeId(d));
+                if ref_sd == inf {
+                    prop_assert_eq!(route, None);
+                    continue;
+                }
+                let route = route.expect("reference says reachable");
+                prop_assert_eq!(route.len() as u32, ref_sd.1, "hop count optimal");
+                let sum: u64 = route.iter().map(|l| lazy.link_spec(*l).delay.as_nanos()).sum();
+                prop_assert_eq!(sum, ref_sd.0, "delay optimal");
+            }
+        }
+
+        let table = |t: &Topology, pairs: &[(usize, usize)]| -> Vec<Option<microgrid::netsim::LinkId>> {
+            pairs.iter().map(|&(s, d)| t.next_hop(NodeId(s), NodeId(d))).collect()
+        };
+        let pairs: Vec<(usize, usize)> =
+            (0..n).flat_map(|s| (0..n).map(move |d| (s, d))).filter(|(s, d)| s != d).collect();
+        let mut reversed = pairs.clone();
+        reversed.reverse();
+
+        let eager = build();
+        eager.warm_all_routes();
+        prop_assert_eq!(eager.routed_sources(), n);
+        prop_assert_eq!(table(&eager, &pairs), table(&lazy, &pairs), "eager == lazy");
+
+        let second = build();
+        let mut from_rev: Vec<_> = table(&second, &reversed);
+        from_rev.reverse();
+        prop_assert_eq!(from_rev, table(&lazy, &pairs), "query order irrelevant");
+    }
+
     /// The executor delivers timers in order for arbitrary delay sets.
     #[test]
     fn executor_fires_in_time_order(delays in prop::collection::vec(0u64..1_000_000u64, 1..40)) {
