@@ -28,11 +28,13 @@ use std::io::Write;
 
 use mgrid_bench::experiments::{apps, micro, network, npb, route, scale};
 use mgrid_bench::runner::fast_mode;
+use microgrid::apps::npb::{run as npb_run, NpbBenchmark, NpbClass, NpbResult};
 use microgrid::desim::time::SimDuration;
 use microgrid::desim::vclock::VirtualClock;
 use microgrid::desim::{sleep, spawn, Simulation};
+use microgrid::mpi::MpiParams;
 use microgrid::netsim::{LinkSpec, NetParams, Network, Payload, TopologyBuilder};
-use microgrid::Report;
+use microgrid::{Report, VirtualGrid};
 use serde::{Deserialize, Serialize};
 
 #[derive(Serialize, Deserialize, Clone, Default)]
@@ -113,6 +115,23 @@ struct RouteMeasurements {
     digest: String,
 }
 
+/// Observability overhead: one fixed probe workload (NPB MG class S on
+/// the alpha cluster) run with span recording off and on. The simulated
+/// results are identical either way — spans are pure observation — so
+/// the wall-time ratio is the cost of the causal tracing layer.
+#[derive(Serialize, Deserialize, Clone, Default)]
+struct ObsMeasurements {
+    /// Best-of-3 wall milliseconds of the probe with spans disabled.
+    plain_ms: f64,
+    /// Best-of-3 wall milliseconds with span recording enabled.
+    spans_ms: f64,
+    /// `spans_ms / plain_ms`; gated at ≤ 1.10 by `--check` (skipped
+    /// under fast mode, whose timings are not comparable).
+    overhead_ratio: f64,
+    /// Spans recorded during one profiled probe run (sanity: non-zero).
+    spans_recorded: u64,
+}
+
 #[derive(Serialize, Deserialize, Clone, Default)]
 struct Speedup {
     /// Baseline total figure time / current total figure time.
@@ -138,6 +157,9 @@ struct BenchFile {
     /// Large-grid route-cache results; `None` in files written before
     /// the demand-driven cache existed.
     route: Option<RouteMeasurements>,
+    /// Span-tracing overhead results; `None` in files written before
+    /// the observability layer existed.
+    obs: Option<ObsMeasurements>,
 }
 
 fn bench_timer_events() -> f64 {
@@ -430,6 +452,46 @@ fn measure_route() -> RouteMeasurements {
     }
 }
 
+/// Measure span-tracing overhead: the fixed probe workload with span
+/// recording off vs on, best of 3 runs each (wall noise on shared
+/// runners dwarfs the effect a single run would show).
+fn measure_obs() -> ObsMeasurements {
+    eprintln!("obs: span-tracing overhead probe (MG class S) ...");
+    fn probe(spans: bool) -> (f64, u64) {
+        let config = microgrid::presets::alpha_cluster();
+        let mut sim = Simulation::new(config.seed);
+        if spans {
+            sim.obs().enable_spans();
+        }
+        let t0 = std::time::Instant::now();
+        let results = sim.block_on(async move {
+            let grid = VirtualGrid::build(config).expect("valid preset");
+            grid.mpirun_all(MpiParams::default(), move |comm| {
+                Box::pin(npb_run(NpbBenchmark::MG, comm, NpbClass::S, None))
+                    as std::pin::Pin<Box<dyn std::future::Future<Output = NpbResult>>>
+            })
+            .await
+        });
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert!(results[0].verified, "probe workload must verify");
+        (ms, sim.obs().spans().snapshot().spans.len() as u64)
+    }
+    let plain_ms = (0..3).map(|_| probe(false).0).fold(f64::MAX, f64::min);
+    let mut spans_ms = f64::MAX;
+    let mut spans_recorded = 0;
+    for _ in 0..3 {
+        let (ms, n) = probe(true);
+        spans_ms = spans_ms.min(ms);
+        spans_recorded = n;
+    }
+    ObsMeasurements {
+        plain_ms,
+        spans_ms,
+        overhead_ratio: ratio(spans_ms, plain_ms),
+        spans_recorded,
+    }
+}
+
 fn ratio(num: f64, den: f64) -> f64 {
     if den > 0.0 {
         num / den
@@ -452,6 +514,9 @@ fn ratio(num: f64, den: f64) -> f64 {
 ///   held ≥10x less routing memory than the eager all-pairs baseline —
 ///   the demand-driven cache's reason to exist. (Wall time is noisy on
 ///   shared runners; memory is exact, so the OR keeps the gate fair.)
+/// * An `obs` section whose span-tracing overhead ratio exceeds 1.10 —
+///   profiling a run must stay within 10% of the untraced wall time
+///   (skipped under fast mode).
 fn validate(file: &BenchFile) -> Vec<String> {
     let mut errs = Vec::new();
     if !file.fast_mode && file.speedup.repro_total > 0.0 && file.speedup.repro_total < 0.9 {
@@ -479,6 +544,17 @@ fn validate(file: &BenchFile) -> Vec<String> {
                  vs the eager all-pairs baseline",
                 r.build_speedup, r.memory_ratio
             ));
+        }
+    }
+    if !file.fast_mode {
+        if let Some(o) = &file.obs {
+            if o.overhead_ratio > 1.10 {
+                errs.push(format!(
+                    "obs overhead_ratio {:.3} > 1.10: span tracing slows the probe \
+                     figure by more than 10%",
+                    o.overhead_ratio
+                ));
+            }
         }
     }
     errs
@@ -566,6 +642,7 @@ fn main() {
     let current = measure();
     let par = measure_par(&current);
     let route = measure_route();
+    let obs = measure_obs();
 
     // Preserve an existing baseline unless re-anchoring was requested.
     let baseline = out
@@ -589,6 +666,7 @@ fn main() {
         current,
         par: Some(par),
         route: Some(route),
+        obs: Some(obs),
     };
 
     println!("== simulation core performance ==");
@@ -656,6 +734,14 @@ fn main() {
             r.bytes_resident, r.eager_bytes_resident, r.memory_ratio
         );
         println!("queries  {:>12.0} /s", r.queries_per_sec);
+    }
+
+    if let Some(o) = &file.obs {
+        println!("-- span tracing overhead (MG class S probe) --");
+        println!(
+            "plain    {:>12.1} ms   spans {:>8.1} ms   ratio {:.3}  ({} spans)",
+            o.plain_ms, o.spans_ms, o.overhead_ratio, o.spans_recorded
+        );
     }
 
     if let Some(path) = out {

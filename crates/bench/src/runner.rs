@@ -74,6 +74,7 @@ pub fn run_npb_on_hosts(
     hosts: Option<Vec<String>>,
 ) -> NpbResult {
     let mut sim = Simulation::new(config.seed ^ 0x5eed);
+    apply_profile(&sim);
     let results = sim.block_on(async move {
         let grid = build(config, mode);
         let hosts = hosts.unwrap_or_else(|| grid.host_names());
@@ -96,6 +97,7 @@ pub fn run_npb_with_sensors(
     trace_horizon: SimDuration,
 ) -> (NpbResult, Vec<(f64, f64)>) {
     let mut sim = Simulation::new(config.seed ^ 0xaa);
+    apply_profile(&sim);
     let out = sim.block_on(async move {
         let grid = build(config, mode);
         let ap = Autopilot::new();
@@ -125,6 +127,7 @@ pub fn run_npb_with_sensors(
 /// Run CACTUS WaveToy; returns rank 0's result.
 pub fn run_wavetoy(config: GridConfig, mode: Mode, wt: WaveToyConfig) -> WaveToyResult {
     let mut sim = Simulation::new(config.seed ^ 0xcac);
+    apply_profile(&sim);
     let results = sim.block_on(async move {
         let grid = build(config, mode);
         let hosts = grid.host_names();
@@ -143,6 +146,23 @@ pub fn fast_mode() -> bool {
     std::env::var("MGRID_FAST")
         .map(|v| v == "1")
         .unwrap_or(false)
+}
+
+/// Profile mode (`MGRID_PROFILE=1`): every simulation driven by this
+/// module records causal spans. The results are unchanged — spans are
+/// pure observation — so the perf harness uses this to measure the
+/// tracing-on vs tracing-off overhead of the span layer.
+pub fn profile_mode() -> bool {
+    std::env::var("MGRID_PROFILE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// Apply [`profile_mode`] to a fresh simulation.
+fn apply_profile(sim: &Simulation) {
+    if profile_mode() {
+        sim.obs().enable_spans();
+    }
 }
 
 /// Worker threads for parallel figure regeneration: `MGRID_REPRO_THREADS`

@@ -8,22 +8,39 @@
 //! mgrid run grid.json MG S               # NPB MG class S on the MicroGrid
 //! mgrid run grid.json MG S --baseline    # ... on the physical baseline
 //! mgrid run grid.json wavetoy 50         # CACTUS WaveToy, 50^3 grid
-//! mgrid run grid.json MG S --trace-out trace.jsonl   # + JSON-lines trace
+//! mgrid run grid.json MG S --trace-out trace.jsonl    # + JSON-lines trace
+//! mgrid run grid.json MG S --profile-out trace.json   # + Perfetto export
 //! ```
 //!
 //! Every `run` prints a per-category metrics summary (scheduler quanta,
 //! network traffic, vsocket and MPI activity) after the result line.
 //! `--trace-out <path>` additionally enables the typed-event tracer and
-//! writes one JSON object per line; `--trace-cap <n>` bounds the retained
-//! events (default 65536, oldest evicted first — evictions show up as the
-//! `trace.dropped` counter in the summary).
+//! streams one JSON object per line to the file as events are recorded;
+//! `--trace-cap <n>` bounds the in-memory ring (default 65536, oldest
+//! evicted first — evictions show up as the `trace.dropped` counter in
+//! the summary, but every event still reaches the stream).
+//!
+//! `--profile-out <path>` enables causal span recording and, after the
+//! run, prints the virtual-time profiler attribution table and the
+//! critical-path report, then writes a Chrome trace-event JSON file
+//! loadable at <https://ui.perfetto.dev> (see `docs/OBSERVABILITY.md`).
+//!
+//! `MGRID_SHARDS=<n>` routes the run through the deterministic sharded
+//! engine (the workload shard plus idle companions); all tables and the
+//! trace stream are byte-identical to the sequential run, and the
+//! Perfetto export additionally gains per-shard epoch lanes.
 
 use std::future::Future;
 use std::pin::Pin;
 
 use microgrid::apps::npb::{self, NpbBenchmark, NpbClass, NpbResult};
 use microgrid::apps::wavetoy::{self, WaveToyConfig, WaveToyResult};
-use microgrid::desim::Simulation;
+use microgrid::desim::metrics::MetricsSnapshot;
+use microgrid::desim::obs::Obs;
+use microgrid::desim::shard::{run_sharded_stats, EpochStats, ShardHandle, ShardPlan, ShardRun};
+use microgrid::desim::time::SimDuration;
+use microgrid::desim::trace::TraceEvent;
+use microgrid::desim::{perfetto, profile, Simulation, SpanSnapshot};
 use microgrid::mpi::MpiParams;
 use microgrid::{plan_rate, presets, GridConfig, VirtualGrid};
 
@@ -73,23 +90,27 @@ fn usage() -> ! {
          \x20 rate <config.json|preset>\n\
          \x20 run <config.json|preset> <EP|BT|LU|MG|IS|CG|FT|SP> <S|A> [--baseline]\n\
          \x20 run <config.json|preset> wavetoy <grid-edge> [--baseline]\n\
-         \x20 run options: --trace-out <path> [--trace-cap <n>]"
+         \x20 run options: --trace-out <path> [--trace-cap <n>] --profile-out <path>"
     );
     std::process::exit(2);
 }
 
 /// Observability options of `mgrid run`.
+#[derive(Clone)]
 struct ObsOpts {
     trace_out: Option<String>,
     trace_cap: usize,
+    profile_out: Option<String>,
 }
 
-/// Strip `--trace-out`/`--trace-cap` from `args`, returning the rest.
+/// Strip `--trace-out`/`--trace-cap`/`--profile-out` from `args`,
+/// returning the rest.
 fn parse_obs_opts(args: &[String]) -> (Vec<String>, ObsOpts) {
     let mut rest = Vec::new();
     let mut opts = ObsOpts {
         trace_out: None,
         trace_cap: 65536,
+        profile_out: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -106,6 +127,11 @@ fn parse_obs_opts(args: &[String]) -> (Vec<String>, ObsOpts) {
                 opts.trace_cap = n;
                 i += 2;
             }
+            "--profile-out" => {
+                let Some(path) = args.get(i + 1) else { usage() };
+                opts.profile_out = Some(path.clone());
+                i += 2;
+            }
             _ => {
                 rest.push(args[i].clone());
                 i += 1;
@@ -115,33 +141,168 @@ fn parse_obs_opts(args: &[String]) -> (Vec<String>, ObsOpts) {
     (rest, opts)
 }
 
-/// After a run: dump the trace (if requested) and print the metrics
-/// summary, including the `trace.dropped` counter.
-fn finish_run(sim: &Simulation, opts: &ObsOpts) {
-    let obs = sim.obs();
-    let dropped = obs.tracer().dropped();
+/// Everything the observability layer recorded, snapshotted at the
+/// instant the root workload completed (and the [`Obs`] was sealed), so
+/// the report is byte-identical whether or not the sharded engine
+/// overran the root by part of an epoch window.
+struct ObsCapture {
+    metrics: MetricsSnapshot,
+    spans: SpanSnapshot,
+    events: Vec<TraceEvent>,
+    streamed: u64,
+    dropped: u64,
+    sink_error: Option<String>,
+}
+
+/// Seal the observability layer and snapshot it. Called as the root
+/// workload's final act, while still inside the simulation: sealing
+/// first stops the tracer (flushing the stream sink) and the span store,
+/// so nothing recorded after this instant — by daemons the sharded
+/// engine may still run until its epoch horizon — can reach the capture.
+fn capture_obs(obs: &Obs, opts: &ObsOpts) -> ObsCapture {
+    obs.seal();
+    let tracer = obs.tracer();
+    let dropped = tracer.dropped();
     if dropped > 0 || opts.trace_out.is_some() {
         obs.metrics().count("trace.dropped", dropped);
     }
-    if let Some(path) = &opts.trace_out {
-        let mut out = String::new();
-        for ev in obs.tracer().events() {
-            out.push_str(&ev.to_json_line());
-            out.push('\n');
+    for (kind, n) in tracer.kind_counts() {
+        obs.metrics().count(&format!("trace.events.{kind}"), n);
+    }
+    let spans = obs.spans().snapshot();
+    if opts.profile_out.is_some() {
+        obs.metrics().count("trace.spans", spans.spans.len() as u64);
+        if spans.dropped > 0 {
+            obs.metrics().count("trace.spans_dropped", spans.dropped);
         }
-        if let Err(e) = std::fs::write(path, out) {
-            eprintln!("cannot write trace to {path}: {e}");
+    }
+    ObsCapture {
+        metrics: obs.metrics().snapshot(),
+        events: tracer.events(),
+        streamed: tracer.streamed(),
+        dropped,
+        sink_error: tracer.sink_error(),
+        spans,
+    }
+}
+
+/// Shard count for `mgrid run`: `MGRID_SHARDS` (default 1, clamped to
+/// at least 1). Values above 1 add idle companion shards alongside the
+/// workload shard, exercising the sharded engine's epoch machinery.
+fn shard_count() -> usize {
+    std::env::var("MGRID_SHARDS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(1)
+        .max(1)
+}
+
+type Factory<R> =
+    Box<dyn FnOnce(ShardHandle<()>) -> ShardRun<(), Option<(Vec<R>, ObsCapture)>> + Send>;
+
+/// Boxed entry point handed to [`execute`]: builds the root future once
+/// the simulation context is live.
+type Work<R> = Box<dyn FnOnce() -> Pin<Box<dyn Future<Output = Vec<R>>>> + Send>;
+
+/// Run `work` to completion under the observability options, either
+/// inline (`MGRID_SHARDS` unset or 1 — byte-identical to
+/// [`Simulation::block_on`]) or on the sharded engine with idle
+/// companion shards. Returns the workload results, the sealed
+/// observability capture, and the engine's epoch stats (empty records
+/// for the inline path).
+fn execute<R: Send + 'static>(
+    seed: u64,
+    opts: &ObsOpts,
+    work: Work<R>,
+) -> (Vec<R>, ObsCapture, EpochStats) {
+    let sink_file = opts.trace_out.as_ref().map(|path| {
+        std::fs::File::create(path).unwrap_or_else(|e| {
+            eprintln!("cannot create trace file {path}: {e}");
+            std::process::exit(2);
+        })
+    });
+    let shards = shard_count();
+    let opts2 = opts.clone();
+    let workload: Factory<R> = Box::new(move |_h| {
+        let sim = Simulation::new(seed);
+        let obs = sim.obs().clone();
+        if opts2.trace_out.is_some() {
+            obs.enable_tracing(opts2.trace_cap);
+            if let Some(f) = sink_file {
+                obs.tracer().set_sink(Box::new(std::io::BufWriter::new(f)));
+            }
+        }
+        if opts2.profile_out.is_some() {
+            obs.enable_spans();
+        }
+        let out = std::rc::Rc::new(std::cell::RefCell::new(None));
+        let out2 = out.clone();
+        let root = sim.spawn(async move {
+            let results = work().await;
+            let capture = capture_obs(&obs, &opts2);
+            *out2.borrow_mut() = Some((results, capture));
+        });
+        ShardRun {
+            sim,
+            deliver: Box::new(|_, _| {}),
+            root_done: Box::new(move || root.is_finished()),
+            advise: None,
+            finish: Box::new(move |_sim| out.borrow_mut().take()),
+        }
+    });
+    let mut factories = vec![workload];
+    for _ in 1..shards {
+        factories.push(Box::new(move |_h: ShardHandle<()>| ShardRun {
+            sim: Simulation::new(0),
+            deliver: Box::new(|_, _| {}),
+            root_done: Box::new(|| true),
+            advise: None,
+            finish: Box::new(|_sim| None),
+        }) as Factory<R>);
+    }
+    let plan = ShardPlan::connected(shards, SimDuration::from_secs(1)).with_epoch_log();
+    let (mut outs, stats) = run_sharded_stats(plan, factories);
+    let (results, capture) = outs
+        .swap_remove(0)
+        .expect("workload shard finished without producing a result");
+    (results, capture, stats)
+}
+
+/// After a run: report the trace stream, print the profiler attribution
+/// and critical-path tables plus write the Perfetto export (when
+/// profiling), and print the metrics summary.
+fn report_run(capture: &ObsCapture, stats: &EpochStats, opts: &ObsOpts) {
+    if let Some(path) = &opts.trace_out {
+        if let Some(e) = &capture.sink_error {
+            eprintln!("trace stream to {path} failed: {e}");
             std::process::exit(1);
         }
         println!(
-            "trace: {} events written to {path} ({dropped} dropped)",
-            obs.tracer().len()
+            "trace: {} events streamed to {path} ({} dropped from ring)",
+            capture.streamed, capture.dropped
         );
     }
-    let snapshot = obs.metrics().snapshot();
-    if !snapshot.is_empty() {
+    if let Some(path) = &opts.profile_out {
+        let prof = profile::Profile::from_snapshot(&capture.spans);
+        println!("-- profile --");
+        print!("{}", prof.to_table());
+        let cp = profile::critical_path(&capture.spans);
+        println!("-- critical path --");
+        print!("{}", cp.to_table());
+        let json = perfetto::export(&capture.spans, &capture.events, &stats.records);
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("cannot write profile to {path}: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "profile: {} spans, {} flows written to {path}",
+            capture.spans.spans.len(),
+            capture.spans.flows.len()
+        );
+    }
+    if !capture.metrics.is_empty() {
         println!("-- metrics --");
-        print!("{}", snapshot.to_table());
+        print!("{}", capture.metrics.to_table());
     }
 }
 
@@ -202,6 +363,7 @@ fn run_cmd(args: &[String]) {
         usage();
     }
     let config = load_config(&args[0]);
+    let seed = config.seed;
     let baseline = args.iter().any(|a| a == "--baseline");
     let app = args[1].to_ascii_uppercase();
     let mode = if baseline {
@@ -217,24 +379,26 @@ fn run_cmd(args: &[String]) {
             grid_edge: edge,
             steps: 100,
         };
-        let mut sim = Simulation::new(config.seed);
-        if obs_opts.trace_out.is_some() {
-            sim.obs().enable_tracing(obs_opts.trace_cap);
-        }
-        let results = sim.block_on(async move {
-            let grid = build(config, baseline);
-            grid.mpirun_all(MpiParams::default(), move |comm| {
-                Box::pin(wavetoy::run(comm, wt, None))
-                    as Pin<Box<dyn Future<Output = WaveToyResult>>>
-            })
-            .await
-        });
+        let (results, capture, stats) = execute(
+            seed,
+            &obs_opts,
+            Box::new(move || {
+                Box::pin(async move {
+                    let grid = build(config, baseline);
+                    grid.mpirun_all(MpiParams::default(), move |comm| {
+                        Box::pin(wavetoy::run(comm, wt, None))
+                            as Pin<Box<dyn Future<Output = WaveToyResult>>>
+                    })
+                    .await
+                })
+            }),
+        );
         let r = &results[0];
         println!(
             "wavetoy {}^3: {:.3} virtual s, energy drift {:.4}, verified {}",
             r.grid_edge, r.virtual_seconds, r.energy_drift, r.verified
         );
-        finish_run(&sim, &obs_opts);
+        report_run(&capture, &stats, &obs_opts);
         return;
     }
 
@@ -256,17 +420,20 @@ fn run_cmd(args: &[String]) {
         Some("A") | Some("a") => NpbClass::A,
         _ => NpbClass::S,
     };
-    let mut sim = Simulation::new(config.seed);
-    if obs_opts.trace_out.is_some() {
-        sim.obs().enable_tracing(obs_opts.trace_cap);
-    }
-    let results = sim.block_on(async move {
-        let grid = build(config, baseline);
-        grid.mpirun_all(MpiParams::default(), move |comm| {
-            Box::pin(npb::run(bench, comm, class, None)) as Pin<Box<dyn Future<Output = NpbResult>>>
-        })
-        .await
-    });
+    let (results, capture, stats) = execute(
+        seed,
+        &obs_opts,
+        Box::new(move || {
+            Box::pin(async move {
+                let grid = build(config, baseline);
+                grid.mpirun_all(MpiParams::default(), move |comm| {
+                    Box::pin(npb::run(bench, comm, class, None))
+                        as Pin<Box<dyn Future<Output = NpbResult>>>
+                })
+                .await
+            })
+        }),
+    );
     let r = &results[0];
     println!(
         "{} class {}: {:.3} virtual s on {} ranks, verified {}",
@@ -276,7 +443,7 @@ fn run_cmd(args: &[String]) {
         r.ranks,
         r.verified
     );
-    finish_run(&sim, &obs_opts);
+    report_run(&capture, &stats, &obs_opts);
 }
 
 fn build(config: GridConfig, baseline: bool) -> VirtualGrid {

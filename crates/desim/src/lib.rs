@@ -41,8 +41,11 @@ pub mod executor;
 pub mod fasthash;
 pub mod metrics;
 pub mod obs;
+pub mod perfetto;
+pub mod profile;
 pub mod rng;
 pub mod shard;
+pub mod span;
 pub mod sync;
 pub mod time;
 pub mod timeout;
@@ -58,5 +61,6 @@ pub use fasthash::{FxHashMap, FxHashSet};
 pub use metrics::{Counter, HistogramHandle, Metrics, MetricsSnapshot};
 pub use obs::Obs;
 pub use rng::{SharedRng, SimRng};
+pub use span::{FlowEdge, SpanId, SpanRecord, SpanSnapshot, SpanStore, SpanStr};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceEvent, Tracer};

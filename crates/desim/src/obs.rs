@@ -16,24 +16,27 @@
 //!   `String` fields of an [`Event`] are never built unless the tracer
 //!   is actually enabled.
 
-use crate::event::Event;
+use crate::event::{Category, Event};
 use crate::executor::try_with_current;
 use crate::metrics::{Counter, HistogramHandle, Metrics};
+use crate::span::{SpanId, SpanStore, SpanStr};
 use crate::trace::Tracer;
 
 /// The observability surface of one simulation: a shared typed-event
-/// tracer and a shared metrics registry.
+/// tracer, a causal span store, and a shared metrics registry.
 #[derive(Clone)]
 pub struct Obs {
     tracer: Tracer,
+    spans: SpanStore,
     metrics: Metrics,
 }
 
 impl Obs {
-    /// A fresh handle: tracing disabled, metrics empty.
+    /// A fresh handle: tracing and spans disabled, metrics empty.
     pub fn new() -> Self {
         Obs {
             tracer: Tracer::disabled(),
+            spans: SpanStore::new(),
             metrics: Metrics::new(),
         }
     }
@@ -41,6 +44,11 @@ impl Obs {
     /// The event tracer (disabled until given capacity and enabled).
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// The causal span store (disabled until [`Obs::enable_spans`]).
+    pub fn spans(&self) -> &SpanStore {
+        &self.spans
     }
 
     /// The metrics registry.
@@ -52,6 +60,23 @@ impl Obs {
     pub fn enable_tracing(&self, capacity: usize) {
         self.tracer.set_capacity(capacity);
         self.tracer.set_enabled(true);
+    }
+
+    /// Turn on causal span recording.
+    pub fn enable_spans(&self) {
+        self.spans.set_enabled(true);
+    }
+
+    /// Freeze the tracer and span store in place.
+    ///
+    /// Called at the instant a run's root workload completes, so any
+    /// trailing daemon activity (the sharded engine may run a shard a
+    /// little past root completion, to its epoch horizon) records
+    /// nothing and sequential vs sharded output stays byte-identical.
+    pub fn seal(&self) {
+        self.tracer.set_enabled(false);
+        self.tracer.flush_sink();
+        self.spans.set_enabled(false);
     }
 }
 
@@ -117,6 +142,73 @@ pub fn gauge_set(name: &str, value: f64) {
     try_with_current(|s| s.obs().metrics.gauge_set(name, value));
 }
 
+/// Open a causal span in the current simulation's span store.
+///
+/// `f` returns `(track, lane, detail)` — the virtual host row, the
+/// process/daemon row within it, and free-form detail — as
+/// [`SpanStr`]s, so hot call sites can precompute the triple once and
+/// clone reference bumps per span. Like [`emit`], the closure runs only
+/// when spans are actually recorded, so disabled spans never allocate.
+/// Returns [`SpanId::NONE`] (a universal no-op id) when disabled or
+/// outside a simulation.
+pub fn span_begin(
+    cat: Category,
+    name: &'static str,
+    f: impl FnOnce() -> (SpanStr, SpanStr, SpanStr),
+) -> SpanId {
+    span_child(SpanId::NONE, cat, name, f)
+}
+
+/// Open a causal span with an explicit parent link (see [`span_begin`]).
+/// Pass [`SpanId::NONE`] for a root span.
+pub fn span_child(
+    parent: SpanId,
+    cat: Category,
+    name: &'static str,
+    f: impl FnOnce() -> (SpanStr, SpanStr, SpanStr),
+) -> SpanId {
+    try_with_current(|s| {
+        let obs = s.obs();
+        if !obs.spans.is_enabled() {
+            return SpanId::NONE;
+        }
+        let (track, lane, detail) = f();
+        let parent = if parent.is_none() { None } else { Some(parent) };
+        obs.spans
+            .begin(s.now(), parent, cat, name, track, lane, detail)
+    })
+    .unwrap_or(SpanId::NONE)
+}
+
+/// Close a causal span. No-op for [`SpanId::NONE`] or outside a
+/// simulation.
+pub fn span_end(id: SpanId) {
+    if id.is_none() {
+        return;
+    }
+    try_with_current(|s| s.obs().spans.end(s.now(), id));
+}
+
+/// Record the producing half of a cross-track flow, anchored to `span`
+/// (see [`crate::span::SpanStore::flow_out`]). No-op for
+/// [`SpanId::NONE`].
+pub fn flow_out(class: &'static str, src: &str, dst: &str, span: SpanId) {
+    if span.is_none() {
+        return;
+    }
+    try_with_current(|s| s.obs().spans.flow_out(class, src, dst, span));
+}
+
+/// Record the consuming half of a cross-track flow, anchored to `span`
+/// (see [`crate::span::SpanStore::flow_in`]). No-op for
+/// [`SpanId::NONE`].
+pub fn flow_in(class: &'static str, src: &str, dst: &str, span: SpanId) {
+    if span.is_none() {
+        return;
+    }
+    try_with_current(|s| s.obs().spans.flow_in(class, src, dst, span));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,6 +239,41 @@ mod tests {
         assert_eq!(obs.tracer().events_in(Category::Net).len(), 1);
         assert_eq!(obs.metrics().counter("net.drops"), 2);
         assert_eq!(obs.metrics().snapshot().histograms.len(), 1);
+    }
+
+    #[test]
+    fn spans_record_with_virtual_timestamps() {
+        use crate::time::SimDuration;
+        let mut sim = Simulation::new(1);
+        sim.obs().enable_spans();
+        let obs = sim.obs().clone();
+        sim.block_on(async {
+            let id = span_begin(Category::Sched, "quantum", || {
+                ("h0".into(), "job".into(), "".into())
+            });
+            crate::executor::sleep(SimDuration::from_nanos(50)).await;
+            span_end(id);
+        });
+        let snap = obs.spans().snapshot();
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.spans[0].dur_ns(), 50);
+        assert_eq!(&*snap.spans[0].track, "h0");
+    }
+
+    #[test]
+    fn disabled_spans_skip_arg_construction() {
+        let mut sim = Simulation::new(1);
+        let obs = sim.obs().clone();
+        sim.block_on(async {
+            let id = span_begin(Category::Net, "send", || {
+                panic!("span closure must not run while spans are disabled")
+            });
+            assert!(id.is_none());
+            span_end(id);
+            flow_out("msg", "a", "b", id);
+            flow_in("msg", "a", "b", id);
+        });
+        assert!(obs.spans().is_empty());
     }
 
     #[test]

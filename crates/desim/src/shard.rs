@@ -64,6 +64,9 @@ pub struct ShardPlan {
     /// Flattened `shards × shards` per-pair lookahead in nanoseconds,
     /// row-major by source; `u64::MAX` marks a pair with no direct edge.
     matrix: Option<Arc<[u64]>>,
+    /// Record one [`EpochRecord`] per barrier round (see
+    /// [`ShardPlan::with_epoch_log`]).
+    log_epochs: bool,
 }
 
 impl ShardPlan {
@@ -86,6 +89,7 @@ impl ShardPlan {
             lookahead: Some(lookahead),
             max_workers: usize::MAX,
             matrix: None,
+            log_epochs: false,
         }
     }
 
@@ -100,7 +104,18 @@ impl ShardPlan {
             lookahead: None,
             max_workers: usize::MAX,
             matrix: None,
+            log_epochs: false,
         }
+    }
+
+    /// Record one [`EpochRecord`] per barrier round into
+    /// [`EpochStats::records`] — the per-shard horizon/activity log the
+    /// Perfetto exporter renders as shard-epoch lanes. Off by default:
+    /// the log grows with the number of rounds, which the regular
+    /// benchmark paths don't want to pay for.
+    pub fn with_epoch_log(mut self) -> Self {
+        self.log_epochs = true;
+        self
     }
 
     /// Cap the worker pool at `n` threads. Shards are statically
@@ -421,6 +436,12 @@ struct Exchange<M> {
     /// Shard-windows that executed events / were idle-parked.
     windows_run: AtomicU64,
     windows_idle: AtomicU64,
+    /// Per-round log (only with [`ShardPlan::with_epoch_log`]); set
+    /// exactly once, after the epoch loop, by the worker owning shard 0
+    /// — the verdict bank is identical on every worker, so one recorder
+    /// suffices and a write-once cell (no lock) is all it takes. Read by
+    /// the caller after the worker joins.
+    epoch_log: std::sync::OnceLock<Vec<EpochRecord>>,
 }
 
 impl<M> Exchange<M> {
@@ -439,14 +460,30 @@ impl<M> Exchange<M> {
             epochs: AtomicU64::new(0),
             windows_run: AtomicU64::new(0),
             windows_idle: AtomicU64::new(0),
+            epoch_log: std::sync::OnceLock::new(),
         }
     }
+}
+
+/// One barrier round of a sharded run, as logged by
+/// [`ShardPlan::with_epoch_log`]: the per-shard horizons granted by the
+/// verdict and whether each shard had events to execute before its
+/// horizon. The Perfetto exporter turns consecutive records into
+/// run/idle slices on per-shard lanes.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EpochRecord {
+    /// Per-shard exclusive horizon in nanoseconds (`u64::MAX` when a
+    /// shard was unbounded this round).
+    pub horizons: Vec<u64>,
+    /// Per-shard: true when the shard had activity before its horizon
+    /// (the window executed rather than idle-parked).
+    pub ran: Vec<bool>,
 }
 
 /// Where a sharded run spent its barrier rounds; see
 /// [`run_sharded_stats`]. The perf harness uses this to report
 /// epochs/sec and per-epoch barrier overhead.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct EpochStats {
     /// Barrier rounds executed (one global all-reduce each). Zero for
     /// the inline single-shard path.
@@ -457,6 +494,9 @@ pub struct EpochStats {
     /// horizon: the shard parked on the barrier without its executor
     /// being polled at all.
     pub windows_idle: u64,
+    /// Per-round horizon/activity log; empty unless the plan asked for
+    /// it via [`ShardPlan::with_epoch_log`].
+    pub records: Vec<EpochRecord>,
 }
 
 /// One round's outcome, identical on every worker.
@@ -711,6 +751,7 @@ where
         windows_run: exchange.windows_run.load(Ordering::Relaxed),
         // ORDERING: Relaxed — same join-synchronized read as above.
         windows_idle: exchange.windows_idle.load(Ordering::Relaxed),
+        records: exchange.epoch_log.get().cloned().unwrap_or_default(),
     };
     let out = results
         .into_inner()
@@ -758,6 +799,10 @@ where
 
     let mut rounds: u64 = 0;
     let (mut wrun, mut widle) = (0u64, 0u64);
+    // One worker (the owner of shard 0) keeps the per-round epoch log;
+    // the verdict bank it reads is identical on every worker.
+    let recorder = plan.log_epochs && shards.iter().any(|(s, _)| *s == 0);
+    let mut epoch_log: Vec<EpochRecord> = Vec::new();
     loop {
         let parity = (rounds % 2) as usize;
         rounds += 1;
@@ -845,6 +890,17 @@ where
         match compute_verdict(plan, &mins, &arrivals, &done, &out_la, &floors) {
             Verdict::Stop => break,
             Verdict::Run(horizons) => {
+                if recorder {
+                    // A shard's window executes iff it has activity —
+                    // published local minimum or an import in flight —
+                    // before its horizon; all three are in the bank.
+                    epoch_log.push(EpochRecord {
+                        ran: (0..n)
+                            .map(|d| mins[d].min(arrivals[d]) < horizons[d])
+                            .collect(),
+                        horizons: horizons.clone(),
+                    });
+                }
                 for (d, st) in &mut shards {
                     // Absorb every import published to this shard (the
                     // banks must be empty again before their next use).
@@ -880,6 +936,12 @@ where
     exchange.windows_run.fetch_add(wrun, Ordering::Relaxed);
     // ORDERING: Relaxed — see `epochs` above.
     exchange.windows_idle.fetch_add(widle, Ordering::Relaxed);
+    if recorder {
+        exchange
+            .epoch_log
+            .set(epoch_log)
+            .expect("recorder sets the epoch log exactly once");
+    }
     Some(shards)
 }
 

@@ -1,13 +1,28 @@
-//! Bounded ring buffer of typed trace events.
+//! Bounded ring buffer of typed trace events, with an optional
+//! streaming sink.
 //!
 //! Model components record [`Event`]s (timestamped on entry) into a
 //! shared ring buffer when tracing is enabled. Consumers include tests
 //! asserting on event ordering, the `mgrid --trace-out` JSON-lines sink,
 //! and the metrics summary, which reports the [`Tracer::dropped`] count
 //! so a truncated trace is never silently read as complete.
+//!
+//! Two consumers see different views of a long run:
+//!
+//! - the in-memory ring keeps only the newest `capacity` events (with
+//!   [`Tracer::dropped`] counting evictions), for tests and the summary;
+//! - a [`Tracer::set_sink`] writer receives **every** event as a JSON
+//!   line the moment it is recorded, so a `--trace-out` file is the
+//!   complete stream even when the ring wrapped. [`Tracer::streamed`]
+//!   counts the lines written.
+//!
+//! Independently of both, [`Tracer::kind_counts`] tallies every recorded
+//! event by its [`Event::kind`] name — eviction-proof totals for the
+//! metrics summary.
 
 use std::cell::RefCell;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
+use std::io::Write;
 use std::rc::Rc;
 
 use crate::event::{Category, Event};
@@ -39,6 +54,13 @@ struct TraceState {
     capacity: usize,
     events: VecDeque<TraceEvent>,
     dropped: u64,
+    /// Eviction-proof per-kind totals, keyed by [`Event::kind`].
+    kinds: BTreeMap<&'static str, u64>,
+    /// Optional streaming sink: every recorded event is written as one
+    /// JSON line before ring admission, so the sink never truncates.
+    sink: Option<Box<dyn Write>>,
+    streamed: u64,
+    sink_error: Option<String>,
 }
 
 /// A shared, bounded trace buffer.
@@ -59,6 +81,10 @@ impl Tracer {
                 capacity,
                 events: VecDeque::new(),
                 dropped: 0,
+                kinds: BTreeMap::new(),
+                sink: None,
+                streamed: 0,
+                sink_error: None,
             })),
         }
     }
@@ -94,10 +120,23 @@ impl Tracer {
     }
 
     /// Record an event (no-op when disabled).
+    ///
+    /// The event is counted in [`Tracer::kind_counts`], streamed to the
+    /// sink if one is set, then admitted to the bounded ring (evicting
+    /// the oldest entry when full).
     pub fn record(&self, at: SimTime, event: Event) {
         let mut s = self.state.borrow_mut();
         if !s.enabled {
             return;
+        }
+        *s.kinds.entry(event.kind()).or_insert(0) += 1;
+        if s.sink.is_some() && s.sink_error.is_none() {
+            let line = event.to_json_line(at.as_nanos());
+            let sink = s.sink.as_mut().expect("checked above");
+            match writeln!(sink, "{line}") {
+                Ok(()) => s.streamed += 1,
+                Err(e) => s.sink_error = Some(e.to_string()),
+            }
         }
         if s.events.len() >= s.capacity {
             s.events.pop_front();
@@ -106,6 +145,60 @@ impl Tracer {
         if s.capacity > 0 {
             s.events.push_back(TraceEvent { at, event });
         }
+    }
+
+    /// Attach a streaming sink. Every subsequently recorded event is
+    /// written to it as one JSON line (the `--trace-out` format) at
+    /// record time, independent of ring capacity. Replaces any previous
+    /// sink without flushing it; call [`Tracer::flush_sink`] first if
+    /// that matters.
+    pub fn set_sink(&self, sink: Box<dyn Write>) {
+        let mut s = self.state.borrow_mut();
+        s.sink = Some(sink);
+        s.streamed = 0;
+        s.sink_error = None;
+    }
+
+    /// Flush the streaming sink, if any (errors are latched like write
+    /// errors).
+    pub fn flush_sink(&self) {
+        let mut s = self.state.borrow_mut();
+        if s.sink_error.is_some() {
+            return;
+        }
+        if let Some(sink) = s.sink.as_mut() {
+            if let Err(e) = sink.flush() {
+                s.sink_error = Some(e.to_string());
+            }
+        }
+    }
+
+    /// Detach and return the streaming sink (unflushed writes are the
+    /// caller's to flush, e.g. by dropping a `BufWriter`).
+    pub fn take_sink(&self) -> Option<Box<dyn Write>> {
+        self.state.borrow_mut().sink.take()
+    }
+
+    /// Number of events successfully written to the streaming sink.
+    pub fn streamed(&self) -> u64 {
+        self.state.borrow().streamed
+    }
+
+    /// First sink write/flush error, if any. Once set, streaming stops;
+    /// the in-memory ring keeps recording.
+    pub fn sink_error(&self) -> Option<String> {
+        self.state.borrow().sink_error.clone()
+    }
+
+    /// Eviction-proof per-kind event totals, sorted by kind name. Counts
+    /// every recorded event regardless of ring capacity.
+    pub fn kind_counts(&self) -> Vec<(&'static str, u64)> {
+        self.state
+            .borrow()
+            .kinds
+            .iter()
+            .map(|(k, v)| (*k, *v))
+            .collect()
     }
 
     /// Snapshot of the retained events, oldest first.
@@ -141,11 +234,14 @@ impl Tracer {
         self.state.borrow().dropped
     }
 
-    /// Discard all retained events and reset the dropped count.
+    /// Discard all retained events and reset the dropped count and the
+    /// per-kind totals. The streaming sink (and its counters) is
+    /// untouched.
     pub fn clear(&self) {
         let mut s = self.state.borrow_mut();
         s.events.clear();
         s.dropped = 0;
+        s.kinds.clear();
     }
 }
 
@@ -233,6 +329,79 @@ mod tests {
         assert_eq!(t.events_in(Category::Net).len(), 2);
         assert_eq!(t.events_in(Category::Sched).len(), 1);
         assert_eq!(t.events_in(Category::Mpi).len(), 0);
+    }
+
+    #[test]
+    fn kind_counts_survive_eviction() {
+        let t = Tracer::new(2);
+        for i in 0..5u64 {
+            t.record(SimTime::from_nanos(i), ev(i));
+        }
+        t.record(
+            SimTime::from_nanos(9),
+            Event::QuantumGrant {
+                host: "h".into(),
+                job: "j".into(),
+            },
+        );
+        assert_eq!(
+            t.kind_counts(),
+            vec![("packet_dequeue", 5), ("quantum_grant", 1)]
+        );
+        assert_eq!(t.len(), 2); // the ring still evicted
+    }
+
+    #[test]
+    fn sink_streams_every_event_past_ring_capacity() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        // A Write impl sharing its buffer so the test can read it back
+        // after handing ownership to the tracer.
+        #[derive(Clone, Default)]
+        struct Shared(Rc<RefCell<Vec<u8>>>);
+        impl std::io::Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.borrow_mut().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let buf = Shared::default();
+        let t = Tracer::new(1); // ring keeps only the newest event
+        t.set_sink(Box::new(buf.clone()));
+        for i in 0..4u64 {
+            t.record(SimTime::from_nanos(i), ev(i));
+        }
+        assert_eq!(t.streamed(), 4);
+        assert_eq!(t.dropped(), 3);
+        assert!(t.sink_error().is_none());
+        let text = String::from_utf8(buf.0.borrow().clone()).unwrap();
+        assert_eq!(text.lines().count(), 4);
+        assert!(text.lines().next().unwrap().contains("\"t_ns\":0"));
+    }
+
+    #[test]
+    fn sink_error_latches_and_stops_streaming() {
+        struct Failing;
+        impl std::io::Write for Failing {
+            fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let t = Tracer::new(4);
+        t.set_sink(Box::new(Failing));
+        t.record(SimTime::ZERO, ev(1));
+        t.record(SimTime::ZERO, ev(2));
+        assert_eq!(t.streamed(), 0);
+        assert!(t.sink_error().unwrap().contains("disk full"));
+        assert_eq!(t.len(), 2); // the ring keeps recording
     }
 
     #[test]

@@ -77,7 +77,7 @@ struct Request {
 }
 
 struct Pcb {
-    name: String,
+    name: mgrid_desim::SpanStr,
     counter: f64,
     base: f64,
     stopped: bool,
@@ -151,7 +151,7 @@ impl OsKernel {
         inner.procs.insert(
             pid,
             Pcb {
-                name: name.into(),
+                name: name.into().into(),
                 counter: base,
                 base,
                 stopped: false,
@@ -199,7 +199,7 @@ impl OsKernel {
             .map(|(pid, p)| {
                 (
                     pid.0,
-                    p.name.clone(),
+                    p.name.to_string(),
                     p.counter,
                     p.stopped,
                     p.requests.len(),
@@ -395,8 +395,21 @@ impl ProcessHandle {
             .borrow()
             .procs
             .get(&self.pid)
-            .map(|p| p.name.clone())
+            .map(|p| p.name.to_string())
             .unwrap_or_default()
+    }
+
+    /// The process name as a shared [`mgrid_desim::SpanStr`] — a
+    /// reference bump, no allocation. Used by span instrumentation on
+    /// hot paths (one span per scheduler quantum).
+    pub fn name_shared(&self) -> mgrid_desim::SpanStr {
+        self.kernel
+            .inner
+            .borrow()
+            .procs
+            .get(&self.pid)
+            .map(|p| p.name.clone())
+            .unwrap_or_else(|| "".into())
     }
 
     /// Consume `cpu` seconds of CPU time. Completes once the kernel has

@@ -22,7 +22,7 @@ use std::rc::Rc;
 
 use mgrid_desim::sync::Notify;
 use mgrid_desim::time::{SimDuration, SimTime};
-use mgrid_desim::{now, obs, spawn_daemon, Event};
+use mgrid_desim::{now, obs, spawn_daemon, Category, Event};
 
 use crate::kernel::{OsKernel, ProcessHandle};
 
@@ -261,6 +261,11 @@ impl MGridScheduler {
             "sched.quantum_wall_ns",
             mgrid_desim::metrics::TIME_BOUNDS_NS,
         );
+        // Span attributes interned once per daemon: track (host label)
+        // and detail never change, and each grant's lane is the
+        // process's shared name — a quantum span allocates nothing.
+        let span_track: mgrid_desim::SpanStr = self.inner.borrow().label.as_str().into();
+        let span_empty: mgrid_desim::SpanStr = "".into();
         loop {
             let Some(idx) = self.next_eligible() else {
                 let (wait, wake) = {
@@ -293,6 +298,12 @@ impl MGridScheduler {
                 host: self.inner.borrow().label.clone(),
                 job: proc.name(),
             });
+            // Causal span covering the whole grant (quantum + wakeup
+            // jitter): the unit of virtual CPU attribution in the
+            // profiler, one slice per grant on the job's Perfetto lane.
+            let span = obs::span_begin(Category::Sched, "quantum", || {
+                (span_track.clone(), proc.name_shared(), span_empty.clone())
+            });
             proc.sigcont();
             self.daemon.os_sleep(quantum).await;
             // Wakeup latency: the daemon's sleep expiry is a timer event;
@@ -312,6 +323,7 @@ impl MGridScheduler {
                 self.daemon.os_sleep(jitter).await;
             }
             proc.sigstop();
+            obs::span_end(span);
             self.daemon.run_cpu(overhead).await;
             let wall = now() - t0;
             m_quanta.add(1);

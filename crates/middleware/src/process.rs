@@ -40,6 +40,10 @@ pub struct ProcessCtx {
     table: HostTable,
     clock: VirtualClock,
     pub(crate) vsock_metrics: Rc<VsockMetrics>,
+    /// Lazily interned `(track, lane)` span attributes — the virtual
+    /// host name and process name never change, so per-message spans
+    /// clone reference bumps instead of allocating.
+    span_attrs: Rc<std::cell::OnceCell<(mgrid_desim::SpanStr, mgrid_desim::SpanStr)>>,
 }
 
 impl ProcessCtx {
@@ -76,7 +80,21 @@ impl ProcessCtx {
                 retries: obs::counter_handle("vsock.retries"),
                 send_failures: obs::counter_handle("vsock.send_failures"),
             }),
+            span_attrs: Rc::new(std::cell::OnceCell::new()),
         })
+    }
+
+    /// The interned `(track, lane)` span attribute pair for this
+    /// process: `(virtual hostname, process name)`. First call
+    /// allocates; every later call is two reference bumps.
+    pub(crate) fn span_attrs(&self) -> (mgrid_desim::SpanStr, mgrid_desim::SpanStr) {
+        let (track, lane) = self.span_attrs.get_or_init(|| {
+            (
+                self.entry.name.as_str().into(),
+                self.proc.os_process().name_shared(),
+            )
+        });
+        (track.clone(), lane.clone())
     }
 
     /// The intercepted `gethostname()`: the *virtual* host name.

@@ -7,7 +7,7 @@
 //! and moves data only across the simulated virtual network.
 
 use mgrid_desim::time::SimDuration;
-use mgrid_desim::{obs, Event};
+use mgrid_desim::{obs, Category, Event};
 use mgrid_netsim::{NetError, Payload};
 
 use crate::process::ProcessCtx;
@@ -34,6 +34,41 @@ fn note_recv(ctx: &ProcessCtx, bytes: u64) {
         host: ctx.gethostname().to_string(),
         bytes,
     });
+}
+
+/// One reliable send: the shared body of [`VSender::send_to`] and
+/// [`VSocket::send_to`]. Wrapped in a `vsock_send` causal span whose
+/// producing flow half-point (`"msg"` class, keyed by the sender host
+/// and `dst:port`) pairs with the receiver's [`VSocket::recv`]
+/// half-point on the same key, FIFO per key.
+async fn send_impl(
+    ctx: &ProcessCtx,
+    src_port: u16,
+    host: &str,
+    port: u16,
+    size_bytes: u64,
+    payload: Payload,
+) -> Result<(), SockError> {
+    let entry = ctx
+        .table()
+        .lookup(host)
+        .ok_or_else(|| SockError::UnknownHost(host.to_string()))?;
+    let span = obs::span_begin(Category::Vsock, "vsock_send", || {
+        let (track, lane) = ctx.span_attrs();
+        (track, lane, format!("{host}:{port}").into())
+    });
+    if !span.is_none() {
+        obs::flow_out("msg", ctx.gethostname(), &format!("{host}:{port}"), span);
+    }
+    ctx.process().intercept_overhead().await;
+    note_send(ctx, host, size_bytes);
+    let res = ctx
+        .endpoint()
+        .send(entry.node, port, src_port, size_bytes, payload)
+        .await
+        .map_err(SockError::Net);
+    obs::span_end(span);
+    res
 }
 
 /// Errors of virtual socket operations.
@@ -122,6 +157,9 @@ pub struct VSocket {
     ctx: ProcessCtx,
     inbox: mgrid_netsim::Inbox,
     port: u16,
+    /// Interned `":port"` span detail, allocated on the first traced
+    /// receive.
+    span_detail: std::cell::OnceCell<mgrid_desim::SpanStr>,
 }
 
 impl ProcessCtx {
@@ -134,6 +172,7 @@ impl ProcessCtx {
         VSocket {
             ctx: self.clone(),
             inbox,
+            span_detail: std::cell::OnceCell::new(),
             port,
         }
     }
@@ -165,18 +204,7 @@ impl VSender {
         size_bytes: u64,
         payload: Payload,
     ) -> Result<(), SockError> {
-        let entry = self
-            .ctx
-            .table()
-            .lookup(host)
-            .ok_or_else(|| SockError::UnknownHost(host.to_string()))?;
-        self.ctx.process().intercept_overhead().await;
-        note_send(&self.ctx, host, size_bytes);
-        self.ctx
-            .endpoint()
-            .send(entry.node, port, self.src_port, size_bytes, payload)
-            .await
-            .map_err(SockError::Net)
+        send_impl(&self.ctx, self.src_port, host, port, size_bytes, payload).await
     }
 
     /// Like [`VSender::send_to`], retrying transient transport failures
@@ -235,18 +263,7 @@ impl VSocket {
         size_bytes: u64,
         payload: Payload,
     ) -> Result<(), SockError> {
-        let entry = self
-            .ctx
-            .table()
-            .lookup(host)
-            .ok_or_else(|| SockError::UnknownHost(host.to_string()))?;
-        self.ctx.process().intercept_overhead().await;
-        note_send(&self.ctx, host, size_bytes);
-        self.ctx
-            .endpoint()
-            .send(entry.node, port, self.port, size_bytes, payload)
-            .await
-            .map_err(SockError::Net)
+        send_impl(&self.ctx, self.port, host, port, size_bytes, payload).await
     }
 
     /// Reliably send with deterministic retries: transient transport
@@ -268,8 +285,26 @@ impl VSocket {
     }
 
     /// Receive the next message, parking until one arrives.
+    ///
+    /// The wait is covered by a `vsock_recv` causal span; on delivery
+    /// the span consumes the `"msg"` flow half-point published by the
+    /// matching send, drawing the cross-host arrow in the Perfetto
+    /// export.
     pub async fn recv(&self) -> Result<VMessage, SockError> {
-        let msg = self.inbox.recv().await.map_err(|_| SockError::Closed)?;
+        let span = obs::span_begin(Category::Vsock, "vsock_recv", || {
+            let (track, lane) = self.ctx.span_attrs();
+            let detail = self
+                .span_detail
+                .get_or_init(|| format!(":{}", self.port).into());
+            (track, lane, detail.clone())
+        });
+        let msg = match self.inbox.recv().await {
+            Ok(msg) => msg,
+            Err(_) => {
+                obs::span_end(span);
+                return Err(SockError::Closed);
+            }
+        };
         self.ctx.process().intercept_overhead().await;
         note_recv(&self.ctx, msg.size_bytes);
         let src = self
@@ -277,6 +312,15 @@ impl VSocket {
             .table()
             .lookup_node(msg.src)
             .expect("message from unmapped node");
+        if !span.is_none() {
+            obs::flow_in(
+                "msg",
+                &src.name,
+                &format!("{}:{}", self.ctx.gethostname(), self.port),
+                span,
+            );
+        }
+        obs::span_end(span);
         Ok(VMessage {
             src_host: src.name,
             src_vip: src.vip,

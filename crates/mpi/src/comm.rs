@@ -15,7 +15,7 @@ use mgrid_desim::channel::{oneshot, OneshotSender};
 use mgrid_desim::sync::Notify;
 use mgrid_desim::time::{SimDuration, SimTime};
 use mgrid_desim::timeout::with_timeout;
-use mgrid_desim::{obs, spawn, Event, FxHashMap, FxHashSet};
+use mgrid_desim::{obs, spawn, Category, Event, FxHashMap, FxHashSet, SpanStr};
 use mgrid_middleware::{ProcessCtx, SockError, VSender};
 use mgrid_netsim::Payload;
 
@@ -132,6 +132,9 @@ pub struct Comm {
     drained: Notify,
     /// Ranks this communicator has timed out waiting on (suspected dead).
     failed: Rc<RefCell<FxHashSet<usize>>>,
+    /// Interned `(track, lane, detail)` span attributes for this rank's
+    /// collective spans — allocated on the first traced collective.
+    span_attrs: Rc<std::cell::OnceCell<(SpanStr, SpanStr, SpanStr)>>,
 }
 
 impl Comm {
@@ -191,6 +194,7 @@ impl Comm {
             outstanding: Rc::new(Cell::new(0)),
             drained: Notify::new(),
             failed: Rc::new(RefCell::new(FxHashSet::default())),
+            span_attrs: Rc::new(std::cell::OnceCell::new()),
         }
     }
 
@@ -503,10 +507,16 @@ impl Comm {
         self.protocol_send(dst, tag, data).await
     }
 
-    /// Wrap one collective call with trace events and timing metrics.
-    /// Emitted per participating rank; `elapsed_ns` is this rank's wall
-    /// time in the collective (skew across ranks is visible in the
-    /// histogram spread).
+    /// Wrap one collective call with trace events, timing metrics, and a
+    /// causal span. Emitted per participating rank; `elapsed_ns` is this
+    /// rank's wall time in the collective (skew across ranks is visible
+    /// in the histogram spread).
+    ///
+    /// Each rank records one `Mpi` span per collective. Non-root ranks
+    /// publish a `"coll"` flow half-point toward rank 0; rank 0 consumes
+    /// one per peer after the collective completes. Collectives are
+    /// globally SPMD-ordered, so the k-th half-point on each side of a
+    /// `(rank r, rank 0)` key always belongs to the same collective.
     async fn timed<T>(
         &self,
         op: &'static str,
@@ -514,9 +524,29 @@ impl Comm {
     ) -> Result<T, SockError> {
         let ranks = self.size();
         obs::emit(|| Event::CollectiveStart { op, ranks });
+        let rank = self.rank;
+        let span = obs::span_begin(Category::Mpi, op, || {
+            let (track, lane, detail) = self.span_attrs.get_or_init(|| {
+                (
+                    self.hosts[rank].as_str().into(),
+                    format!("rank{rank}").into(),
+                    format!("x{ranks}").into(),
+                )
+            });
+            (track.clone(), lane.clone(), detail.clone())
+        });
+        if !span.is_none() && rank != 0 {
+            obs::flow_out("coll", &format!("rank{rank}"), "rank0", span);
+        }
         let t0 = mgrid_desim::now();
         let out = fut.await;
         let elapsed_ns = (mgrid_desim::now() - t0).as_nanos();
+        if !span.is_none() && rank == 0 {
+            for peer in 1..ranks {
+                obs::flow_in("coll", &format!("rank{peer}"), "rank0", span);
+            }
+        }
+        obs::span_end(span);
         obs::count("mpi.collectives", 1);
         obs::observe("mpi.collective_ns", elapsed_ns);
         obs::emit(|| Event::CollectiveEnd {

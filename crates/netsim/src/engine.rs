@@ -471,6 +471,7 @@ impl Network {
         Endpoint {
             net: self.clone(),
             node,
+            span_attrs: std::cell::OnceCell::new(),
         }
     }
 
@@ -958,6 +959,10 @@ fn lookup_inbox(inboxes: &PortMap, node: NodeId, port: u16) -> Option<&Sender<Me
 pub struct Endpoint {
     pub(crate) net: Network,
     pub(crate) node: NodeId,
+    /// Lazily interned `(track, lane)` span attributes — long-lived
+    /// endpoints (one per process) pay the name allocation once, not
+    /// once per send.
+    pub(crate) span_attrs: std::cell::OnceCell<(mgrid_desim::SpanStr, mgrid_desim::SpanStr)>,
 }
 
 impl Endpoint {

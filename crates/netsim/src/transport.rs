@@ -13,6 +13,7 @@
 
 use mgrid_desim::time::SimDuration;
 use mgrid_desim::timeout::with_timeout;
+use mgrid_desim::{obs, Category};
 
 use crate::engine::{Endpoint, NetError};
 use crate::packet::{Packet, PacketKind, Payload, TransferId};
@@ -24,7 +25,37 @@ impl Endpoint {
     /// Completes when every segment has been acknowledged (the message is
     /// fully delivered, or queued at an unbound port). Fails fast with
     /// [`NetError::Unreachable`] if no route exists.
+    ///
+    /// The whole sliding-window transfer — segments, acks, and any
+    /// retransmission rounds — is covered by one `Net` `net_send` span on
+    /// the sending node's timeline.
     pub async fn send(
+        &self,
+        dst: NodeId,
+        port: u16,
+        src_port: u16,
+        size_bytes: u64,
+        payload: Payload,
+    ) -> Result<(), NetError> {
+        let span = obs::span_begin(Category::Net, "net_send", || {
+            let topo = &self.network().inner.topo;
+            let (track, lane) = self
+                .span_attrs
+                .get_or_init(|| (topo.node_name(self.node()).into(), "transport".into()));
+            (
+                track.clone(),
+                lane.clone(),
+                format!("{}B to {}", size_bytes, topo.node_name(dst)).into(),
+            )
+        });
+        let res = self
+            .send_inner(dst, port, src_port, size_bytes, payload)
+            .await;
+        obs::span_end(span);
+        res
+    }
+
+    async fn send_inner(
         &self,
         dst: NodeId,
         port: u16,
